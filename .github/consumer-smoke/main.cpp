@@ -1,0 +1,14 @@
+// Minimal downstream consumer: links the installed package and runs one SVD.
+#include "treesvd.hpp"
+
+#include <cstdio>
+
+int main() {
+  using namespace treesvd;
+  Rng rng(1);
+  const Matrix a = random_gaussian(20, 8, rng);
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("fat-tree"));
+  std::printf("consumer ok: sigma0=%.3f converged=%d\n", r.sigma[0],
+              static_cast<int>(r.converged));
+  return r.converged ? 0 : 1;
+}

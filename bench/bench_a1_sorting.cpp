@@ -1,0 +1,79 @@
+// Ablation A1: the sorting machinery. (i) Module Fig 4(a) vs 4(b): only the
+// order-preserving module keeps left < right in every pair, the property the
+// paper uses to get sorted singular values from a fixed storage rule.
+// (ii) Cost of sorting during the iteration: sweeps and rotations with the
+// descending rule on versus off.
+#include <cstdio>
+
+#include "core/fat_tree.hpp"
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "svd/jacobi.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("A1 — sorting ablation\n\n");
+
+  std::printf("(i) four-block module variants:\n");
+  {
+    Table t({"variant", "left<right in all pairs", "order after 1 sweep", "after 2 sweeps"});
+    for (auto [v, name] : {std::pair{FourBlockVariant::kOrderPreserving, "Fig 4(a)"},
+                           std::pair{FourBlockVariant::kSwapping, "Fig 4(b)"}}) {
+      const std::vector<int> ids = {0, 1, 2, 3};
+      const BlockRows once = four_block_module(ids, v);
+      bool ordered = true;
+      for (const auto& row : once.rows)
+        ordered = ordered && row[0] < row[1] && row[2] < row[3];
+      const BlockRows twice = four_block_module(once.final_layout, v);
+      auto show = [](const std::vector<int>& l) {
+        std::string s;
+        for (int x : l) s += std::to_string(x + 1) + " ";
+        return s;
+      };
+      t.row().cell(name).cell(ordered ? "yes" : "no").cell(show(once.final_layout)).cell(
+          show(twice.final_layout));
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  std::printf("(ii) cost of the descending sort rule (mean over 10 matrices, n = 48):\n");
+  {
+    Table t({"ordering", "sweeps sorted", "sweeps unsorted", "rot sorted", "rot unsorted",
+             "fused swaps"});
+    for (const auto& name : {"fat-tree", "new-ring", "round-robin"}) {
+      const auto ord = make_ordering(name);
+      double s_sorted = 0.0;
+      double s_plain = 0.0;
+      double r_sorted = 0.0;
+      double r_plain = 0.0;
+      double swaps = 0.0;
+      for (int trial = 0; trial < 10; ++trial) {
+        Rng rng(42 + static_cast<std::uint64_t>(trial));
+        const Matrix a = random_gaussian(96, 48, rng);
+        JacobiOptions sorted;
+        JacobiOptions plain;
+        plain.sort = SortMode::kNone;
+        const SvdResult rs = one_sided_jacobi(a, *ord, sorted);
+        const SvdResult rp = one_sided_jacobi(a, *ord, plain);
+        s_sorted += rs.sweeps;
+        s_plain += rp.sweeps;
+        r_sorted += static_cast<double>(rs.rotations);
+        r_plain += static_cast<double>(rp.rotations);
+        swaps += static_cast<double>(rs.swaps);
+      }
+      t.row()
+          .cell(name)
+          .cell(s_sorted / 10, 1)
+          .cell(s_plain / 10, 1)
+          .cell(r_sorted / 10, 0)
+          .cell(r_plain / 10, 0)
+          .cell(swaps / 10, 0);
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  std::printf(
+      "Sorting costs at most a fraction of a sweep (the fused swaps replace, not\n"
+      "add to, rotations) and buys ordered output — the paper's recommendation.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation A2: the hybrid ordering's single knob — the group count (block
+// size). More groups = smaller blocks = less channel load at the skinny
+// levels but more global super-steps. Sweeps the knob over all topologies.
+#include <cstdio>
+
+#include "core/hybrid.hpp"
+#include "core/validate.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("A2 — hybrid ordering group-count ablation (n = 256, P = 128)\n\n");
+  const int n = 256;
+
+  Table t({"groups", "block", "global transitions", "contention cm5", "time perfect",
+           "time binary", "time cm5"});
+  for (int groups = 2; groups * 4 <= n; groups *= 2) {
+    const HybridOrdering h(groups);
+    if (!h.supports(n)) continue;
+    const Sweep s = h.sweep(n);
+    int top = 0;
+    for (int lv = s.leaves(); lv > 1; lv /= 2) ++top;
+    int globals = 0;
+    for (int step = 0; step < s.steps(); ++step) {
+      int deepest = 0;
+      for (const ColumnMove& mv : s.moves(step))
+        deepest = std::max(deepest, comm_level(mv.from_slot, mv.to_slot));
+      if (deepest == top) ++globals;
+    }
+    t.row()
+        .cell(static_cast<long long>(groups))
+        .cell(static_cast<long long>(n / groups / 2))
+        .cell(static_cast<long long>(globals));
+    CostParams p;
+    p.words_per_column = static_cast<double>(n);
+    double cm5_cont = 0.0;
+    std::vector<double> times;
+    for (auto prof :
+         {CapacityProfile::kCm5, CapacityProfile::kPerfect, CapacityProfile::kConstant}) {
+      const FatTreeTopology topo(n / 2, prof);
+      const auto run = model_run(h, topo, n, p, 1);
+      if (prof == CapacityProfile::kCm5) {
+        cm5_cont = run.per_sweep_total.max_contention;
+        times.push_back(run.per_sweep_total.total_time);  // cm5 last below
+      } else {
+        times.push_back(run.per_sweep_total.total_time);
+      }
+    }
+    // times order collected: cm5, perfect, binary -> print perfect, binary, cm5
+    t.cell(cm5_cont, 2).cell(times[1], 0).cell(times[2], 0).cell(times[0], 0);
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Shape: contention halves as groups double until the blocks fit the skinny\n"
+      "channels; past that point extra groups only add global transitions. The\n"
+      "sweet spot depends on the capacity profile — exactly the tuning the paper\n"
+      "describes ('we may properly choose the block size').\n");
+  return 0;
+}

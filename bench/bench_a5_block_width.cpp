@@ -1,0 +1,54 @@
+// Ablation A5: block width for the block one-sided Jacobi (the direction of
+// the paper's reference [1] and the blocks of its Section 5). Wider blocks
+// mean fewer, larger messages (latency amortised) and fewer outer sweeps, at
+// the cost of redundant intra-panel work.
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "sim/machine.hpp"
+#include "svd/block_jacobi.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("A5 — block-width ablation (128x64 Gaussian, round-robin at block level)\n\n");
+
+  Rng rng(515);
+  const Matrix a = random_gaussian(128, 64, rng);
+  const auto ord = make_ordering("round-robin");
+
+  Table t({"block width", "blocks", "outer sweeps", "rotations", "modeled comm (cm5)",
+           "messages"});
+  for (int width : {1, 2, 4, 8, 16}) {
+    BlockJacobiOptions opt;
+    opt.block_width = width;
+    const SvdResult r = block_one_sided_jacobi(a, *ord, opt);
+    const int blocks = 64 / width;
+    // Model the block-level communication: words per "column" = width * m.
+    double comm = 0.0;
+    std::size_t msgs = 0;
+    if (blocks >= 4 && ord->supports(blocks)) {
+      const FatTreeTopology topo(blocks / 2, CapacityProfile::kCm5);
+      CostParams p;
+      p.words_per_column = 128.0 * width;
+      const auto run = model_run(*ord, topo, blocks, p, r.sweeps);
+      comm = run.per_sweep_total.comm_time;
+      msgs = run.per_sweep_total.messages;
+    }
+    t.row()
+        .cell(static_cast<long long>(width))
+        .cell(static_cast<long long>(blocks))
+        .cell(static_cast<long long>(r.sweeps))
+        .cell(r.rotations)
+        .cell(comm, 0)
+        .cell(msgs);
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Shape: outer sweeps fall sharply with width (each encounter does more\n"
+      "work locally); message count falls quadratically; total rotations rise\n"
+      "(redundant intra-panel orthogonalisation) — the classical compute-for-\n"
+      "latency trade of blocked Jacobi on high-latency machines.\n");
+  return 0;
+}

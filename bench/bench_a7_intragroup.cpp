@@ -1,0 +1,58 @@
+// Ablation A7: the hybrid ordering's intra-group method. The hybrid runs a
+// fat-tree sweep inside each group; the plain block ring (Schreiber
+// partitioning) uses odd-even transposition there instead. Same ring of
+// blocks between groups — the difference isolates the intra-group fat-tree.
+#include <cstdio>
+
+#include "core/block_ring.hpp"
+#include "core/hybrid.hpp"
+#include "core/validate.hpp"
+#include "linalg/generators.hpp"
+#include "sim/machine.hpp"
+#include "svd/jacobi.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("A7 — intra-group method: fat-tree (hybrid) vs odd-even (block ring)\n");
+  std::printf("n = 128, 8 groups of 16; modeled per-sweep time, m = n words/column\n\n");
+
+  const int n = 128;
+  const int groups = 8;
+  const HybridOrdering hybrid(groups);
+  const BlockRingOrdering blockring(groups);
+
+  Table t({"ordering", "steps", "local transfers", "perfect", "binary", "cm5",
+           "contention cm5", "sweeps to converge"});
+  Rng rng(909);
+  const Matrix a = random_gaussian(2 * n, static_cast<std::size_t>(n), rng);
+  for (const Ordering* ord : {static_cast<const Ordering*>(&hybrid),
+                              static_cast<const Ordering*>(&blockring)}) {
+    const Sweep s = ord->sweep(n);
+    const auto hist = level_histogram(s);
+    std::size_t local = hist[0] + (hist.size() > 1 ? hist[1] : 0);
+    t.row().cell(ord->name()).cell(static_cast<long long>(s.steps())).cell(local);
+    CostParams p;
+    p.words_per_column = static_cast<double>(n);
+    double cm5_contention = 0.0;
+    for (auto prof :
+         {CapacityProfile::kPerfect, CapacityProfile::kConstant, CapacityProfile::kCm5}) {
+      const FatTreeTopology topo(n / 2, prof);
+      const auto run = model_run(*ord, topo, n, p, 1);
+      t.cell(run.per_sweep_total.total_time, 0);
+      if (prof == CapacityProfile::kCm5)
+        cm5_contention = run.per_sweep_total.max_contention;
+    }
+    const SvdResult r = one_sided_jacobi(a, *ord);
+    t.cell(cm5_contention, 2).cell(static_cast<long long>(r.sweeps));
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Convergence is equivalent — the intra-group method only changes the\n"
+      "communication structure. The fat-tree phase needs one fewer step and wins\n"
+      "when intra-group exchanges can ride fat channels (perfect profile); the\n"
+      "strictly nearest-neighbour odd-even phase is cheaper on the skinny trees.\n"
+      "Measured honestly: on the pure binary tree the plain block ring edges out\n"
+      "the hybrid, and the hybrid's fat-tree phase pays off as channels fatten.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation A9: accuracy of the Jacobi SVD on severely graded spectra. The
+// paper's Section-1 use case — treating sufficiently small singular values as
+// zero — needs those small values computed *reliably*. One-sided Jacobi is
+// classically strong here (high relative accuracy); this bench measures it
+// against the Golub-Kahan bidiagonal SVD and the (squaring, hence limited)
+// tridiagonal-QL oracle.
+#include <cmath>
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/golub_kahan.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "svd/jacobi.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("A9 — relative accuracy on a geometric spectrum, cond = 1e12 (24x12)\n\n");
+
+  Rng rng(1212);
+  const auto spec = geometric_spectrum(12, 1e12);
+  const Matrix a = with_spectrum(24, 12, spec, rng);
+  const auto gk = golub_kahan_singular_values(a);
+  const auto ql = singular_values_oracle(a);
+  const SvdResult j = one_sided_jacobi(a, *make_ordering("fat-tree"));
+
+  Table t({"k", "sigma_k (true)", "jacobi rel.err", "golub-kahan rel.err",
+           "squared-QL rel.err"});
+  for (std::size_t k = 0; k < 12; ++k) {
+    char truth[24];
+    std::snprintf(truth, sizeof truth, "%.3e", spec[k]);
+    auto rel = [&](double v) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%.1e", std::fabs(v - spec[k]) / spec[k]);
+      return std::string(buf);
+    };
+    t.row()
+        .cell(static_cast<long long>(k + 1))
+        .cell(truth)
+        .cell(rel(j.sigma[k]))
+        .cell(rel(gk[k]))
+        .cell(rel(ql[k]));
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Shape: the squared-oracle error blows up to O(1) once sigma falls below\n"
+      "sqrt(eps)*sigma_1 ~ 1e-8, while the one-sided Jacobi engine matches the\n"
+      "non-squaring Golub-Kahan reference across the full 12 decades — small\n"
+      "singular values can indeed be thresholded with confidence (Section 1).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Claim C1: the fat-tree ordering minimises global communication. For each
+// ordering: how many transitions per sweep touch each tree level, and how
+// many column-words cross each level, for a range of problem sizes.
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("C1 — communication locality per sweep (perfect fat-tree, P = n/2 leaves)\n");
+  std::printf("'top transitions' = transitions whose deepest message crosses the root level\n\n");
+
+  for (int n : {64, 256, 1024}) {
+    const FatTreeTopology topo(n / 2, CapacityProfile::kPerfect);
+    Table table({"ordering", "steps", "top transitions", "level<=2 transitions", "root words",
+                 "total words"});
+    for (const auto& name : ordering_names({8})) {
+      const auto ord = make_ordering(name);
+      if (!ord->supports(n)) continue;
+      CostParams p;
+      p.words_per_column = static_cast<double>(n);  // m = n rows
+      const auto run = model_run(*ord, topo, n, p, 1);
+      const auto& c = run.per_sweep_total;
+      const std::size_t top = c.transitions_using_level.size() - 1;
+      std::size_t low = 0;
+      for (std::size_t l = 0; l <= 2 && l < c.transitions_using_level.size(); ++l)
+        low += c.transitions_using_level[l];
+      table.row()
+          .cell(name)
+          .cell(static_cast<long long>(ord->steps(n)))
+          .cell(c.transitions_using_level[top])
+          .cell(low)
+          .cell(c.words_per_level[top], 0)
+          .cell(c.comm_words, 0);
+    }
+    std::printf("n = %d:\n%s\n", n, table.str().c_str());
+  }
+  std::printf(
+      "Shape to observe: the fat-tree ordering touches the root on O(1) transitions\n"
+      "per sweep (3, independent of n) while both Fig-1 baselines and the rings do so\n"
+      "on nearly every transition; most fat-tree transitions are level <= 2.\n");
+  return 0;
+}

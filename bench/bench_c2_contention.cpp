@@ -1,0 +1,35 @@
+// Claim C2: the hybrid ordering avoids contention on skinny fat-trees (the
+// fat-tree ordering does not), and the block size (group count) is the knob.
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("C2 — worst per-channel contention factor of any transition in one sweep\n");
+  std::printf("(streams through a channel divided by its relative capacity; <= 1.00 means\n");
+  std::printf(" no channel is ever busier than an uncontended leaf link)\n\n");
+
+  const int n = 256;
+  Table table({"ordering", "perfect-fat-tree", "binary-tree", "cm5-skinny"});
+  for (const auto& name : ordering_names({2, 4, 8, 16, 32, 64})) {
+    const auto ord = make_ordering(name);
+    if (!ord->supports(n)) continue;
+    table.row().cell(name);
+    for (auto prof :
+         {CapacityProfile::kPerfect, CapacityProfile::kConstant, CapacityProfile::kCm5}) {
+      const FatTreeTopology topo(n / 2, prof);
+      const auto run = model_run(*ord, topo, n, CostParams{}, 1);
+      table.cell(run.per_sweep_total.max_contention, 2);
+    }
+  }
+  std::printf("n = %d, P = %d leaves:\n%s\n", n, n / 2, table.str().c_str());
+  std::printf(
+      "Shape to observe: ring orderings are contention-free everywhere; the fat-tree\n"
+      "ordering contends badly on the skinny trees; the hybrid's contention falls as\n"
+      "the group count rises (smaller blocks) until it reaches 1.00 on the CM-5 model\n"
+      "— 'we may properly choose the block size so that ... no contention' (Sec. 5).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Claim C3 (the paper's Conclusions): on the CM-5-like tree the hybrid
+// ordering is the most efficient; with full fat-tree bandwidth the fat-tree
+// ordering becomes the most attractive. Modeled per-sweep time, all orderings
+// x all topologies x several sizes.
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("C3 — modeled time per sweep (compute + contended communication)\n");
+  std::printf("units: one word through a base channel; columns of length m = n\n\n");
+
+  for (int n : {128, 512, 1024}) {
+    for (auto prof :
+         {CapacityProfile::kPerfect, CapacityProfile::kConstant, CapacityProfile::kCm5}) {
+      const FatTreeTopology topo(n / 2, prof);
+      Table table({"ordering", "total", "compute", "comm", "comm %", "contention"});
+      double best = 0.0;
+      std::string best_name;
+      for (const auto& name : ordering_names({4, 16, n / 8, n / 4})) {
+        const auto ord = make_ordering(name);
+        if (!ord->supports(n)) continue;
+        CostParams p;
+        p.words_per_column = static_cast<double>(n);
+        const auto run = model_run(*ord, topo, n, p, 1);
+        const auto& c = run.per_sweep_total;
+        table.row()
+            .cell(name)
+            .cell(c.total_time, 0)
+            .cell(c.compute_time, 0)
+            .cell(c.comm_time, 0)
+            .cell(100.0 * c.comm_time / c.total_time, 1)
+            .cell(c.max_contention, 2);
+        if (best_name.empty() || c.total_time < best) {
+          best = c.total_time;
+          best_name = name;
+        }
+      }
+      std::printf("n = %d on %s (winner: %s):\n%s\n", n, to_string(prof).c_str(),
+                  best_name.c_str(), table.str().c_str());
+    }
+  }
+  return 0;
+}

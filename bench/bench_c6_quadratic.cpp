@@ -1,0 +1,53 @@
+// Claim C6: "If the rotations in a sweep are chosen in a reasonable,
+// systematic order, the convergence rate is ultimately quadratic." Track
+// off(A^T A) per sweep for each ordering.
+#include <cmath>
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "svd/jacobi.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace treesvd;
+  std::printf("C6 — off(A^T A)/||A^T A|| after each sweep (random 96x64 matrix)\n\n");
+
+  Rng rng(31337);
+  const Matrix a = random_gaussian(96, 64, rng);
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> histories;
+  std::size_t max_sweeps = 0;
+  for (const auto& name : ordering_names({8})) {
+    const auto ord = make_ordering(name);
+    if (!ord->supports(64)) continue;
+    JacobiOptions opt;
+    opt.track_off = true;
+    const SvdResult r = one_sided_jacobi(a, *ord, opt);
+    names.push_back(name);
+    histories.push_back(r.off_history);
+    max_sweeps = std::max(max_sweeps, r.off_history.size());
+  }
+
+  std::vector<std::string> header = {"sweep"};
+  for (const auto& n : names) header.push_back(n);
+  Table table(header);
+  for (std::size_t s = 0; s < max_sweeps; ++s) {
+    table.row().cell(static_cast<long long>(s + 1));
+    for (const auto& h : histories) {
+      if (s < h.size()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2e", h[s]);
+        table.cell(buf);
+      } else {
+        table.cell("-");
+      }
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Shape to observe: a few linear-rate sweeps, then the measure roughly squares\n"
+      "each sweep (exponent doubling) until machine precision — the classical\n"
+      "ultimately-quadratic convergence of the Jacobi method, for every ordering.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Claim C8 (google-benchmark microbenchmarks): kernel throughput, including
+// the paper's eq. (3) — the fused rotate-and-swap versus rotating and then
+// exchanging columns explicitly.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "linalg/blas1.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/rotation.hpp"
+#include "svd/jacobi.hpp"
+#include "core/registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace treesvd;
+
+std::vector<double> random_vec(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+void BM_GramPair(benchmark::State& state) {
+  Rng rng(1);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(m, rng);
+  const auto y = random_vec(m, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gram_pair(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_GramPair)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ApplyRotation(benchmark::State& state) {
+  Rng rng(2);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  auto x = random_vec(m, rng);
+  auto y = random_vec(m, rng);
+  for (auto _ : state) {
+    apply_rotation(x, y, 0.8, 0.6);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ApplyRotation)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RotateThenExplicitSwap(benchmark::State& state) {
+  Rng rng(3);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  auto x = random_vec(m, rng);
+  auto y = random_vec(m, rng);
+  for (auto _ : state) {
+    apply_rotation(x, y, 0.8, 0.6);
+    swap(std::span<double>(x), std::span<double>(y));
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_RotateThenExplicitSwap)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_FusedRotateSwap(benchmark::State& state) {
+  // Paper eq. (3): same work as a plain rotation, no exchange pass.
+  Rng rng(4);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  auto x = random_vec(m, rng);
+  auto y = random_vec(m, rng);
+  for (auto _ : state) {
+    apply_rotation_swapped(x, y, 0.8, 0.6);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_FusedRotateSwap)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SweepGeneration(benchmark::State& state) {
+  const auto ord = make_ordering("fat-tree");
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ord->sweep(n));
+  }
+}
+BENCHMARK(BM_SweepGeneration)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_NewRingGeneration(benchmark::State& state) {
+  const auto ord = make_ordering("new-ring");
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ord->sweep(n));
+  }
+}
+BENCHMARK(BM_NewRingGeneration)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FullSvd(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_gaussian(2 * n, n, rng);
+  const auto ord = make_ordering("fat-tree");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_sided_jacobi(a, *ord));
+  }
+}
+BENCHMARK(BM_FullSvd)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

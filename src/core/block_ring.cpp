@@ -1,0 +1,164 @@
+#include "core/block_ring.hpp"
+
+#include <algorithm>
+
+#include "core/new_ring.hpp"
+#include "core/odd_even.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+int group_of_block(std::span<const int> ring_layout, int block) {
+  for (std::size_t s = 0; s < ring_layout.size(); ++s)
+    if (ring_layout[s] == block) return static_cast<int>(s) / 2;
+  TREESVD_ASSERT(!"block missing from ring layout");
+  return -1;
+}
+
+/// Cross-pairing of two equal blocks by cyclic shifts: step j pairs x_i with
+/// y_{(i+j) mod k}. k steps, every cross pair exactly once, and y returns to
+/// its original order at the end — no rotation bookkeeping needed (unlike the
+/// divide-and-conquer two-block ordering, it works for any k, at the price of
+/// shifting y every step).
+std::vector<std::vector<int>> cyclic_cross_rows(const std::vector<int>& x,
+                                                const std::vector<int>& y) {
+  const std::size_t k = x.size();
+  TREESVD_ASSERT(y.size() == k);
+  std::vector<std::vector<int>> rows;
+  rows.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<int> row;
+    row.reserve(2 * k);
+    for (std::size_t i = 0; i < k; ++i) {
+      row.push_back(x[i]);
+      row.push_back(y[(i + j) % k]);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+BlockRingOrdering::BlockRingOrdering(int groups) : groups_(groups) {
+  TREESVD_REQUIRE(groups >= 2 && groups % 2 == 0,
+                  "block ring ordering needs an even number of groups >= 2");
+}
+
+std::string BlockRingOrdering::name() const {
+  return "block-ring-g" + std::to_string(groups_);
+}
+
+bool BlockRingOrdering::supports(int n) const {
+  if (n % groups_ != 0) return false;
+  const int gsz = n / groups_;
+  return gsz >= 4 && gsz % 2 == 0;
+}
+
+int BlockRingOrdering::steps(int n) const { return n; }
+
+Ordering::Canonical BlockRingOrdering::canonical(int n, int /*sweep_index*/) const {
+  const int gsz = n / groups_;
+  const int bs = gsz / 2;
+  const int nblocks = 2 * groups_;
+
+  std::vector<std::vector<int>> content(static_cast<std::size_t>(nblocks));
+  for (int g = 0; g < groups_; ++g) {
+    for (int i = 0; i < bs; ++i) {
+      content[static_cast<std::size_t>(2 * g)].push_back(g * gsz + 2 * i);
+      content[static_cast<std::size_t>(2 * g + 1)].push_back(g * gsz + 2 * i + 1);
+    }
+  }
+
+  const Sweep ring = NewRingOrdering().sweep(nblocks);
+  const OddEvenOrdering odd_even;
+
+  Canonical c;
+  for (int j = 0; j < ring.steps(); ++j) {
+    const auto ring_now = ring.layout(j);
+    if (j == 0) {
+      // Super-step 1: odd-even transposition inside every group covers the
+      // intra-group pairs and leaves each group's region reversed.
+      std::vector<Sweep> intra;
+      intra.reserve(static_cast<std::size_t>(groups_));
+      std::vector<std::vector<int>> regions;
+      for (int g = 0; g < groups_; ++g) {
+        const auto& p = content[static_cast<std::size_t>(ring_now[static_cast<std::size_t>(2 * g)])];
+        const auto& q = content[static_cast<std::size_t>(ring_now[static_cast<std::size_t>(2 * g + 1)])];
+        std::vector<int> region;
+        for (int i = 0; i < bs; ++i) {
+          region.push_back(p[static_cast<std::size_t>(i)]);
+          region.push_back(q[static_cast<std::size_t>(i)]);
+        }
+        intra.push_back(odd_even.sweep(gsz));
+        regions.push_back(std::move(region));
+      }
+      for (int t = 0; t < intra.front().steps(); ++t) {
+        std::vector<int> lay;
+        std::vector<std::uint8_t> act;
+        lay.reserve(static_cast<std::size_t>(n));
+        act.reserve(static_cast<std::size_t>(n / 2));
+        for (int g = 0; g < groups_; ++g) {
+          const auto local = intra[static_cast<std::size_t>(g)].layout(t);
+          for (int s = 0; s < gsz; ++s)
+            lay.push_back(regions[static_cast<std::size_t>(g)]
+                                 [static_cast<std::size_t>(local[static_cast<std::size_t>(s)])]);
+          for (int leaf = 0; leaf < gsz / 2; ++leaf)
+            act.push_back(intra[static_cast<std::size_t>(g)].leaf_active(t, leaf) ? 1 : 0);
+        }
+        c.layouts.push_back(std::move(lay));
+        c.active.push_back(std::move(act));
+      }
+      // The odd-even sweep reverses each region: update block contents (the
+      // even-offset block swaps roles with the odd-offset one).
+      for (int g = 0; g < groups_; ++g) {
+        const int bp = ring_now[static_cast<std::size_t>(2 * g)];
+        const int bq = ring_now[static_cast<std::size_t>(2 * g + 1)];
+        std::reverse(content[static_cast<std::size_t>(bp)].begin(),
+                     content[static_cast<std::size_t>(bp)].end());
+        std::reverse(content[static_cast<std::size_t>(bq)].begin(),
+                     content[static_cast<std::size_t>(bq)].end());
+      }
+    } else {
+      // Later super-steps: cyclic cross-pairing of the two resident blocks.
+      std::vector<std::vector<std::vector<int>>> per_group_rows;
+      for (int g = 0; g < groups_; ++g) {
+        const auto ring_next = ring.layout(j + 1);
+        const int bp = ring_now[static_cast<std::size_t>(2 * g)];
+        const int bq = ring_now[static_cast<std::size_t>(2 * g + 1)];
+        const bool p_moves = group_of_block(ring_next, bp) != g;
+        const int stay = p_moves ? bq : bp;
+        const int move = p_moves ? bp : bq;
+        per_group_rows.push_back(cyclic_cross_rows(content[static_cast<std::size_t>(stay)],
+                                                   content[static_cast<std::size_t>(move)]));
+      }
+      const std::size_t nsteps = per_group_rows.front().size();
+      for (std::size_t t = 0; t < nsteps; ++t) {
+        std::vector<int> lay;
+        lay.reserve(static_cast<std::size_t>(n));
+        for (const auto& rows : per_group_rows)
+          lay.insert(lay.end(), rows[t].begin(), rows[t].end());
+        c.layouts.push_back(std::move(lay));
+        c.active.emplace_back(static_cast<std::size_t>(n / 2), 1);
+      }
+    }
+  }
+
+  // Post-sweep layout: blocks per the ring's final layout, contents as-is.
+  const auto ring_fin = ring.final_layout();
+  std::vector<int> fin;
+  fin.reserve(static_cast<std::size_t>(n));
+  for (int g = 0; g < groups_; ++g) {
+    const auto& p = content[static_cast<std::size_t>(ring_fin[static_cast<std::size_t>(2 * g)])];
+    const auto& q = content[static_cast<std::size_t>(ring_fin[static_cast<std::size_t>(2 * g + 1)])];
+    for (int i = 0; i < bs; ++i) {
+      fin.push_back(p[static_cast<std::size_t>(i)]);
+      fin.push_back(q[static_cast<std::size_t>(i)]);
+    }
+  }
+  c.layouts.push_back(std::move(fin));
+  return c;
+}
+
+}  // namespace treesvd

@@ -1,0 +1,37 @@
+#pragma once
+// The block ring ordering of Section 5 (based on Schreiber's partitioning
+// method [14]), as a standalone ordering.
+//
+// Like the hybrid ordering, the n indices form `groups` groups of two
+// interleaved blocks and the new ring ordering drives the blocks; the only
+// difference is super-step 1, which must let the indices inside each group
+// meet: the hybrid uses the fat-tree ordering there, this class uses the
+// odd-even transposition ordering (purely nearest-neighbour). Comparing the
+// two isolates the contribution of the intra-group fat-tree (ablation A7).
+
+#include "core/ordering.hpp"
+
+namespace treesvd {
+
+/// Block ring ordering: new ring at block level + odd-even inside groups.
+/// Requirements: groups even >= 2; n/groups even >= 4 (group size need not
+/// be a power of two — the odd-even ordering accepts any even size, which is
+/// exactly what the fat-tree variant cannot do).
+class BlockRingOrdering final : public Ordering {
+ public:
+  explicit BlockRingOrdering(int groups);
+
+  std::string name() const override;
+  bool supports(int n) const override;
+  int steps(int n) const override;
+
+  int groups() const noexcept { return groups_; }
+
+ protected:
+  Canonical canonical(int n, int sweep_index) const override;
+
+ private:
+  int groups_;
+};
+
+}  // namespace treesvd

@@ -1,0 +1,142 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+
+#include "core/fat_tree.hpp"
+#include "core/new_ring.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+int group_of_block(std::span<const int> ring_layout, int block) {
+  for (std::size_t s = 0; s < ring_layout.size(); ++s)
+    if (ring_layout[s] == block) return static_cast<int>(s) / 2;
+  TREESVD_ASSERT(!"block missing from ring layout");
+  return -1;
+}
+
+}  // namespace
+
+HybridOrdering::HybridOrdering(int groups) : groups_(groups) {
+  TREESVD_REQUIRE(groups >= 2 && groups % 2 == 0,
+                  "hybrid ordering needs an even number of groups >= 2");
+}
+
+std::string HybridOrdering::name() const {
+  return "hybrid-g" + std::to_string(groups_);
+}
+
+bool HybridOrdering::supports(int n) const {
+  if (n < 4 * groups_ || n % groups_ != 0) return false;
+  const int gsz = n / groups_;
+  return (gsz & (gsz - 1)) == 0;  // group size a power of two >= 4
+}
+
+Ordering::Canonical HybridOrdering::canonical(int n, int /*sweep_index*/) const {
+  const int gsz = n / groups_;
+  const int bs = gsz / 2;
+  const int nblocks = 2 * groups_;
+
+  // Block contents: the two blocks of group g are the indices at the even and
+  // odd offsets of the group's slot range ("indices in the two blocks are
+  // interleaved"), so the canonical sweep starts from the identity layout.
+  std::vector<std::vector<int>> content(static_cast<std::size_t>(nblocks));
+  for (int g = 0; g < groups_; ++g) {
+    for (int i = 0; i < bs; ++i) {
+      content[static_cast<std::size_t>(2 * g)].push_back(g * gsz + 2 * i);
+      content[static_cast<std::size_t>(2 * g + 1)].push_back(g * gsz + 2 * i + 1);
+    }
+  }
+
+  const Sweep ring = NewRingOrdering().sweep(nblocks);
+
+  Canonical c;
+  auto emit_rows = [&](const std::vector<std::vector<std::vector<int>>>& per_group_rows) {
+    const std::size_t nsteps = per_group_rows.front().size();
+    for (std::size_t t = 0; t < nsteps; ++t) {
+      std::vector<int> lay;
+      lay.reserve(static_cast<std::size_t>(n));
+      for (const auto& rows : per_group_rows)
+        lay.insert(lay.end(), rows[t].begin(), rows[t].end());
+      c.layouts.push_back(std::move(lay));
+    }
+  };
+
+  for (int j = 0; j < ring.steps(); ++j) {
+    const auto ring_now = ring.layout(j);
+    const auto ring_next = ring.layout(j + 1);
+
+    std::vector<std::vector<std::vector<int>>> per_group_rows;
+    per_group_rows.reserve(static_cast<std::size_t>(groups_));
+
+    if (j == 0) {
+      // Super-step 1: fat-tree ordering inside every group covers all
+      // intra-group pairs and restores the group's arrangement.
+      for (int g = 0; g < groups_; ++g) {
+        const auto& p = content[static_cast<std::size_t>(ring_now[static_cast<std::size_t>(2 * g)])];
+        const auto& q = content[static_cast<std::size_t>(ring_now[static_cast<std::size_t>(2 * g + 1)])];
+        std::vector<int> region;
+        for (int i = 0; i < bs; ++i) {
+          region.push_back(p[static_cast<std::size_t>(i)]);
+          region.push_back(q[static_cast<std::size_t>(i)]);
+        }
+        per_group_rows.push_back(fat_tree_region_rows(region).rows);
+        // "A block is a rotating block if it is to be shifted" (Section 5):
+        // every inter-group move carries the half-exchange. The two-block
+        // orderings of later super-steps leave their movers half-exchanged
+        // already; the block leaving after this fat-tree super-step must be
+        // half-exchanged explicitly so each block rotates exactly once per
+        // shift — an even count per sweep, restoring block contents.
+        const int bp = ring_now[static_cast<std::size_t>(2 * g)];
+        const int bq = ring_now[static_cast<std::size_t>(2 * g + 1)];
+        const bool p_moves = group_of_block(ring_next, bp) != g;
+        const bool q_moves = group_of_block(ring_next, bq) != g;
+        TREESVD_ASSERT(p_moves != q_moves);
+        auto& mover = content[static_cast<std::size_t>(p_moves ? bp : bq)];
+        std::rotate(mover.begin(), mover.begin() + bs / 2, mover.end());
+      }
+    } else {
+      // Later super-steps: the two blocks meeting in each group run a
+      // two-block ordering; the block about to leave is the rotating side.
+      for (int g = 0; g < groups_; ++g) {
+        const int bp = ring_now[static_cast<std::size_t>(2 * g)];
+        const int bq = ring_now[static_cast<std::size_t>(2 * g + 1)];
+        const bool p_moves = group_of_block(ring_next, bp) != g;
+        const bool q_moves = group_of_block(ring_next, bq) != g;
+        TREESVD_ASSERT(p_moves != q_moves);
+        const int stay = p_moves ? bq : bp;
+        const int move = p_moves ? bp : bq;
+        BlockRows br = two_block_rows(content[static_cast<std::size_t>(stay)],
+                                      content[static_cast<std::size_t>(move)]);
+        // The rotating block's halves end exchanged; record the new internal
+        // orders so the next meeting uses them.
+        std::vector<int> stay_after;
+        std::vector<int> move_after;
+        for (std::size_t i = 0; i < br.final_layout.size(); ++i)
+          (i % 2 == 0 ? stay_after : move_after).push_back(br.final_layout[i]);
+        content[static_cast<std::size_t>(stay)] = std::move(stay_after);
+        content[static_cast<std::size_t>(move)] = std::move(move_after);
+        per_group_rows.push_back(std::move(br.rows));
+      }
+    }
+    emit_rows(per_group_rows);
+  }
+
+  // Post-sweep layout: blocks arranged per the ring's final layout.
+  const auto ring_fin = ring.final_layout();
+  std::vector<int> fin;
+  fin.reserve(static_cast<std::size_t>(n));
+  for (int g = 0; g < groups_; ++g) {
+    const auto& p = content[static_cast<std::size_t>(ring_fin[static_cast<std::size_t>(2 * g)])];
+    const auto& q = content[static_cast<std::size_t>(ring_fin[static_cast<std::size_t>(2 * g + 1)])];
+    for (int i = 0; i < bs; ++i) {
+      fin.push_back(p[static_cast<std::size_t>(i)]);
+      fin.push_back(q[static_cast<std::size_t>(i)]);
+    }
+  }
+  c.layouts.push_back(std::move(fin));
+  return c;
+}
+
+}  // namespace treesvd

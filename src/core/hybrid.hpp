@@ -1,0 +1,45 @@
+#pragma once
+// The paper's hybrid ordering (Section 5): ring ordering between groups,
+// fat-tree ordering inside groups — the contention-free ordering for skinny
+// fat-trees like the CM-5.
+
+#include "core/ordering.hpp"
+
+namespace treesvd {
+
+/// Hybrid ordering. The n indices are divided into `groups` groups of n/groups
+/// consecutive indices; each group is split into two interleaved blocks.
+/// Treating each block as a super-index, the new ring ordering is applied at
+/// block level: super-step 1 runs the fat-tree ordering inside every group
+/// (all intra-group pairs), and each later super-step runs a two-block
+/// ordering between the two blocks meeting in a group. Between super-steps
+/// exactly one block leaves every group in the same ring direction, so the
+/// inter-group traffic of every transition is a perfect one-directional shift
+/// — with a block size chosen below the capacity of the lowest skinny level,
+/// no channel is ever oversubscribed (the paper's contention-freedom claim).
+///
+/// A block is the rotating side of its two-block ordering exactly when it is
+/// about to move; every block moves an even number of times per sweep (the
+/// group count must be even, as the paper assumes), so block-internal order
+/// is restored after one sweep and the full layout after two.
+///
+/// Requirements: n/groups a power of two >= 4, groups even >= 2.
+/// A sweep takes n-1 steps.
+class HybridOrdering final : public Ordering {
+ public:
+  explicit HybridOrdering(int groups);
+
+  std::string name() const override;
+  bool supports(int n) const override;
+  int steps(int n) const override { return n - 1; }
+
+  int groups() const noexcept { return groups_; }
+
+ protected:
+  Canonical canonical(int n, int sweep_index) const override;
+
+ private:
+  int groups_;
+};
+
+}  // namespace treesvd

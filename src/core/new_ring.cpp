@@ -1,0 +1,147 @@
+#include "core/new_ring.hpp"
+
+#include <algorithm>
+
+#include "core/round_robin.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+/// Fold permutation of the equivalence proof (Section 4): relabel[i] is the
+/// index that replaces index i of the round-robin ordering. 0-based.
+std::vector<int> fold_relabelling(int n) {
+  const int m = n / 2;
+  // Initial pairs (0,1)(2,3)...; left half of the pair list gets its pairs
+  // swapped; the halves are folded together, left first, right reversed.
+  std::vector<std::pair<int, int>> pairs;
+  for (int k = 0; k < m; ++k) pairs.emplace_back(2 * k, 2 * k + 1);
+  const int half = (m + 1) / 2;
+  std::vector<std::pair<int, int>> left(pairs.begin(), pairs.begin() + half);
+  std::vector<std::pair<int, int>> right(pairs.begin() + half, pairs.end());
+  for (auto& p : left) std::swap(p.first, p.second);
+  std::reverse(right.begin(), right.end());
+  std::vector<int> folded;
+  folded.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < m; ++i) {
+    const std::pair<int, int>* p = nullptr;
+    if (i % 2 == 0) {
+      p = (i / 2 < static_cast<int>(left.size())) ? &left[static_cast<std::size_t>(i / 2)] : nullptr;
+    } else {
+      p = (i / 2 < static_cast<int>(right.size())) ? &right[static_cast<std::size_t>(i / 2)] : nullptr;
+    }
+    TREESVD_ASSERT(p != nullptr);
+    folded.push_back(p->first);
+    folded.push_back(p->second);
+  }
+  return folded;  // relabel[i] = folded[i]
+}
+
+/// Hand-verified schedule for n = 4 (the ring has only two leaves, so the
+/// generic forced-placement rule is ambiguous there).
+Ordering::Canonical ring4(bool flip) {
+  Ordering::Canonical c;
+  c.layouts = {{0, 1, 2, 3}, {0, 3, 2, 1}, {0, 2, 3, 1}, {0, 1, 3, 2}};
+  if (flip) {
+    for (auto& lay : c.layouts)
+      for (std::size_t k = 0; k < lay.size(); k += 2)
+        if (lay[k] > lay[k + 1]) std::swap(lay[k], lay[k + 1]);
+  }
+  return c;
+}
+
+}  // namespace
+
+namespace detail {
+
+Ordering::Canonical new_ring_canonical(int n, bool flip_orientation) {
+  if (n == 4) return ring4(flip_orientation);
+  const int m = n / 2;
+
+  // Round-robin pair sequence, relabelled through the fold permutation.
+  const Sweep rr = RoundRobinOrdering().sweep(n);
+  const std::vector<int> lam = fold_relabelling(n);
+
+  // Forced placement: leaf_of[i] tracks each index's leaf; every new pair
+  // settles on the leaf its two members are adjacent across (one of them
+  // stays, the other arrives from the clockwise neighbour leaf).
+  std::vector<int> leaf_of(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) leaf_of[static_cast<std::size_t>(i)] = i / 2;
+
+  Ordering::Canonical c;
+  auto emit = [&](const std::vector<int>& leaves_by_pair,
+                  const std::vector<IndexPair>& prs) {
+    std::vector<int> lay(static_cast<std::size_t>(n), -1);
+    for (std::size_t k = 0; k < prs.size(); ++k) {
+      const int leaf = leaves_by_pair[k];
+      int a = prs[k].even;
+      int b = prs[k].odd;
+      // Orientation: larger index at the even slot (the paper's first row),
+      // except pairs containing index 0 which keep 0 on top.
+      if (a != 0 && b != 0) {
+        if (a < b) std::swap(a, b);
+      } else if (b == 0) {
+        std::swap(a, b);
+      }
+      // Modified variant (Fig. 8): smaller index on the first row, always.
+      if (flip_orientation && a > b) std::swap(a, b);
+      lay[static_cast<std::size_t>(2 * leaf)] = a;
+      lay[static_cast<std::size_t>(2 * leaf + 1)] = b;
+    }
+    c.layouts.push_back(std::move(lay));
+  };
+
+  for (int t = 0; t < rr.steps(); ++t) {
+    std::vector<IndexPair> prs = rr.pairs(t);
+    for (auto& p : prs) {
+      p.even = lam[static_cast<std::size_t>(p.even)];
+      p.odd = lam[static_cast<std::size_t>(p.odd)];
+    }
+    std::vector<int> leaves_by_pair(prs.size(), -1);
+    std::vector<std::uint8_t> used(static_cast<std::size_t>(m), 0);
+    for (std::size_t k = 0; k < prs.size(); ++k) {
+      const int la = leaf_of[static_cast<std::size_t>(prs[k].even)];
+      const int lb = leaf_of[static_cast<std::size_t>(prs[k].odd)];
+      int leaf = -1;
+      if (la == lb) {
+        leaf = la;  // step 0: pairs start co-located
+      } else if ((la + 1) % m == lb) {
+        leaf = la;  // the odd-slot member walks one leaf counter-clockwise
+      } else if ((lb + 1) % m == la) {
+        leaf = lb;
+      } else {
+        TREESVD_ASSERT(!"new-ring pair members are not on adjacent leaves");
+      }
+      TREESVD_ASSERT(!used[static_cast<std::size_t>(leaf)]);
+      used[static_cast<std::size_t>(leaf)] = 1;
+      leaves_by_pair[k] = leaf;
+      leaf_of[static_cast<std::size_t>(prs[k].even)] = leaf;
+      leaf_of[static_cast<std::size_t>(prs[k].odd)] = leaf;
+    }
+    emit(leaves_by_pair, prs);
+  }
+
+  // Post-sweep layout: indices 1, 2 home, 3..n reversed (paper property).
+  std::vector<int> fin(static_cast<std::size_t>(n));
+  fin[0] = 0;
+  fin[1] = 1;
+  for (int s = 2; s < n; ++s) fin[static_cast<std::size_t>(s)] = n + 1 - s;
+  if (flip_orientation) {
+    for (std::size_t k = 0; k < fin.size(); k += 2)
+      if (fin[k] > fin[k + 1]) std::swap(fin[k], fin[k + 1]);
+  }
+  c.layouts.push_back(std::move(fin));
+  return c;
+}
+
+}  // namespace detail
+
+Ordering::Canonical NewRingOrdering::canonical(int n, int /*sweep_index*/) const {
+  return detail::new_ring_canonical(n, /*flip_orientation=*/false);
+}
+
+Ordering::Canonical ModifiedRingOrdering::canonical(int n, int /*sweep_index*/) const {
+  return detail::new_ring_canonical(n, /*flip_orientation=*/true);
+}
+
+}  // namespace treesvd

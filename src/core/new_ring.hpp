@@ -1,0 +1,53 @@
+#pragma once
+// The paper's new ring ordering (Section 4) and its modified variant.
+
+#include "core/ordering.hpp"
+
+namespace treesvd {
+
+/// New ring ordering (Fig. 7(a)). Defined, as in the paper's equivalence
+/// proof, by relabelling the round-robin ordering: split the initial index
+/// pairs into two halves, swap the two indices within the left-half pairs,
+/// fold the halves together so the pairs interleave, and run round-robin on
+/// the relabelled indices. The physical schedule places every step's pairs on
+/// a ring of n/2 leaf processors such that
+///   * messages travel in one direction only, one hop per step,
+///   * every leaf forwards exactly one column per step (this rule makes the
+///     placement unique, and it is how the generator computes it),
+///   * index 1 never moves; index 2 moves once every two steps and returns
+///     home; indices 2k+1, 2k+2 move exactly 2k times (k >= 1),
+///   * after one sweep indices 1, 2 are in place and 3..n are reversed; two
+///     consecutive sweeps restore the original order.
+/// A sweep takes n-1 steps. Within a leaf the larger index sits at the even
+/// slot (the paper's first row), except pairs containing index 1.
+class NewRingOrdering final : public Ordering {
+ public:
+  std::string name() const override { return "new-ring"; }
+  bool supports(int n) const override { return n >= 4 && n % 2 == 0; }
+  int steps(int n) const override { return n - 1; }
+
+ protected:
+  Canonical canonical(int n, int sweep_index) const override;
+};
+
+/// Modified ring ordering (Fig. 8): the same schedule with the opposite
+/// within-leaf orientation (smaller index at the even slot for every pair).
+/// Under the fixed-slot sorting rule this delivers the singular values in
+/// nonincreasing order after an even number of sweeps and nondecreasing order
+/// after an odd number, as the paper notes.
+class ModifiedRingOrdering final : public Ordering {
+ public:
+  std::string name() const override { return "modified-ring"; }
+  bool supports(int n) const override { return n >= 4 && n % 2 == 0; }
+  int steps(int n) const override { return n - 1; }
+
+ protected:
+  Canonical canonical(int n, int sweep_index) const override;
+};
+
+namespace detail {
+/// Shared generator: `flip_orientation` selects the modified variant.
+Ordering::Canonical new_ring_canonical(int n, bool flip_orientation);
+}  // namespace detail
+
+}  // namespace treesvd

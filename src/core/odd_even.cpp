@@ -1,0 +1,38 @@
+#include "core/odd_even.hpp"
+
+namespace treesvd {
+
+Ordering::Canonical OddEvenOrdering::canonical(int n, int /*sweep_index*/) const {
+  const int m = n / 2;
+  // line[l] = index at line position l; slot s at phase offset o holds
+  // line[(s + o) mod n].
+  std::vector<int> line(static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l) line[static_cast<std::size_t>(l)] = l;
+
+  Canonical c;
+  auto emit = [&](int offset) {
+    std::vector<int> lay(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s)
+      lay[static_cast<std::size_t>(s)] = line[static_cast<std::size_t>((s + offset) % n)];
+    c.layouts.push_back(std::move(lay));
+  };
+
+  for (int t = 0; t < n; ++t) {
+    const int offset = t % 2;
+    emit(offset);
+    std::vector<std::uint8_t> act(static_cast<std::size_t>(m), 1);
+    if (offset == 1) act[static_cast<std::size_t>(m - 1)] = 0;  // wrap pair idle
+    c.active.push_back(std::move(act));
+    // Interchange within every compared (active) pair.
+    for (int k = 0; k < m; ++k) {
+      const int a = 2 * k + offset;
+      const int b = a + 1;
+      if (b >= n) continue;  // idle wrap pair in even phases
+      std::swap(line[static_cast<std::size_t>(a)], line[static_cast<std::size_t>(b)]);
+    }
+  }
+  emit(0);  // post-sweep layout: the fully reversed line
+  return c;
+}
+
+}  // namespace treesvd

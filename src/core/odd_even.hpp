@@ -1,0 +1,29 @@
+#pragma once
+// Odd-even transposition ordering — the classical nearest-neighbour ring
+// ordering (Fig. 1(a) family; Brent-Luk arrays [2], Eberlein-Park rings [3]).
+
+#include "core/ordering.hpp"
+
+namespace treesvd {
+
+/// n line positions; odd phases pair (p0,p1)(p2,p3)..., even phases pair
+/// (p1,p2)(p3,p5)... with the ends idle, and the two indices of every
+/// compared pair interchange afterwards. A sweep takes n steps (one leaf is
+/// idle in every second step) and each index pair meets exactly once — the
+/// odd-even transposition sorting network property. After one sweep the line
+/// is exactly reversed; two sweeps restore the original order.
+///
+/// All communication is between neighbouring line positions, so on a tree the
+/// traffic is dominated by level-1 links — the baseline the paper's ring
+/// orderings compete with.
+class OddEvenOrdering final : public Ordering {
+ public:
+  std::string name() const override { return "odd-even"; }
+  bool supports(int n) const override { return n >= 4 && n % 2 == 0; }
+  int steps(int n) const override { return n; }
+
+ protected:
+  Canonical canonical(int n, int sweep_index) const override;
+};
+
+}  // namespace treesvd

@@ -1,0 +1,19 @@
+#pragma once
+// Name -> ordering factory, shared by the benches, examples and tests.
+
+#include <string>
+#include <vector>
+
+#include "core/ordering.hpp"
+
+namespace treesvd {
+
+/// Creates an ordering by name: "round-robin", "odd-even", "fat-tree",
+/// "llb-fat-tree", "new-ring", "modified-ring", or "hybrid-g<groups>"
+/// (e.g. "hybrid-g4"). Throws std::invalid_argument for unknown names.
+OrderingPtr make_ordering(const std::string& name);
+
+/// Names of all orderings (hybrid instantiated for the given group counts).
+std::vector<std::string> ordering_names(const std::vector<int>& hybrid_groups = {4});
+
+}  // namespace treesvd

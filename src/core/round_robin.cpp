@@ -1,0 +1,43 @@
+#include "core/round_robin.hpp"
+
+#include <algorithm>
+
+namespace treesvd {
+
+Ordering::Canonical RoundRobinOrdering::canonical(int n, int /*sweep_index*/) const {
+  const int m = n / 2;
+  std::vector<int> top(static_cast<std::size_t>(m));
+  std::vector<int> bot(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) {
+    top[static_cast<std::size_t>(k)] = 2 * k;      // indices 1,3,5,... (0-based: 0,2,4,...)
+    bot[static_cast<std::size_t>(k)] = 2 * k + 1;  // indices 2,4,6,...
+  }
+
+  Canonical c;
+  auto emit = [&] {
+    std::vector<int> lay(static_cast<std::size_t>(n));
+    for (int k = 0; k < m; ++k) {
+      lay[static_cast<std::size_t>(2 * k)] = top[static_cast<std::size_t>(k)];
+      lay[static_cast<std::size_t>(2 * k + 1)] = bot[static_cast<std::size_t>(k)];
+    }
+    c.layouts.push_back(std::move(lay));
+  };
+
+  for (int t = 0; t < n - 1; ++t) {
+    emit();
+    // Rotate the tournament cycle T1..T_{m-1}, B_{m-1}..B_0 one place forward
+    // (T0 is the fixed player).
+    std::vector<int> cyc;
+    cyc.reserve(static_cast<std::size_t>(n - 1));
+    for (int k = 1; k < m; ++k) cyc.push_back(top[static_cast<std::size_t>(k)]);
+    for (int k = m - 1; k >= 0; --k) cyc.push_back(bot[static_cast<std::size_t>(k)]);
+    std::rotate(cyc.rbegin(), cyc.rbegin() + 1, cyc.rend());
+    for (int k = 1; k < m; ++k) top[static_cast<std::size_t>(k)] = cyc[static_cast<std::size_t>(k - 1)];
+    for (int k = m - 1; k >= 0; --k)
+      bot[static_cast<std::size_t>(k)] = cyc[static_cast<std::size_t>(m - 1 + (m - 1 - k))];
+  }
+  emit();  // after n-1 rotations of a (n-1)-cycle the layout is restored
+  return c;
+}
+
+}  // namespace treesvd

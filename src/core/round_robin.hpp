@@ -1,0 +1,27 @@
+#pragma once
+// The round-robin (tournament) ordering of Brent & Luk [2], Fig. 1(b).
+
+#include "core/ordering.hpp"
+
+namespace treesvd {
+
+/// Classical round-robin ordering: positions form two rows of n/2; the index
+/// at the top-left position is fixed and all others rotate one place around
+/// the cycle T1..T_{m-1}, B_{m-1}..B_0 after each step. A sweep takes n-1
+/// steps and restores the original layout.
+///
+/// On a tree architecture the rotation is a global permutation: roughly half
+/// the transfers cross the root, which is what motivates the paper's
+/// tree-aware orderings. Slot mapping: top row k -> slot 2k, bottom row
+/// k -> slot 2k+1.
+class RoundRobinOrdering final : public Ordering {
+ public:
+  std::string name() const override { return "round-robin"; }
+  bool supports(int n) const override { return n >= 4 && n % 2 == 0; }
+  int steps(int n) const override { return n - 1; }
+
+ protected:
+  Canonical canonical(int n, int sweep_index) const override;
+};
+
+}  // namespace treesvd

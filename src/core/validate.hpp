@@ -1,0 +1,53 @@
+#pragma once
+// Validation and analysis of Jacobi sweeps: the properties the paper states
+// for each ordering, expressed as checkable predicates, plus the
+// communication-level accounting used throughout the evaluation.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ordering.hpp"
+
+namespace treesvd {
+
+/// Result of validate_sweep: empty `error` means the sweep is a valid
+/// parallel Jacobi sweep (every unordered index pair rotated exactly once).
+struct SweepValidation {
+  bool valid = false;
+  std::string error;  ///< first violation found, for diagnostics
+};
+
+SweepValidation validate_sweep(const Sweep& sweep);
+
+/// Validates a sequence of consecutive sweeps jointly: each sweep valid, and
+/// each sweep starts where the previous one ended.
+SweepValidation validate_sweep_sequence(const Ordering& ordering, int n, int sweeps);
+
+/// Tree level crossed by a column moving between two slots (2 columns per
+/// leaf, leaves paired up the binary tree): 0 = same leaf, 1 = sibling
+/// leaves, etc.
+int comm_level(int from_slot, int to_slot);
+
+/// Number of inter-leaf column transfers per tree level over a whole sweep
+/// (histogram[0] counts free intra-leaf moves).
+std::vector<std::size_t> level_histogram(const Sweep& sweep);
+
+/// True when every inter-leaf transfer of the sweep goes one step in the same
+/// ring direction (leaf -> leaf-1 mod m, i.e. the new ring ordering's
+/// one-way-traffic property).
+bool unidirectional_ring_moves(const Sweep& sweep);
+
+/// Number of inter-leaf moves per index over the sweep (including the final
+/// restore movement).
+std::vector<std::size_t> moves_per_index(const Sweep& sweep);
+
+/// Jacobi-ordering equivalence (the paper's Definition 1): orderings O1, O2
+/// are equivalent if one sweep of O1 becomes one sweep of O2 under a fixed
+/// relabelling of indices. Returns the relabelling (relabel[i] = image of
+/// index i) if one exists. Backtracking over step pair-sets; intended for
+/// moderate n (tests use n <= 64).
+std::optional<std::vector<int>> find_equivalence_relabelling(const Sweep& a, const Sweep& b);
+
+}  // namespace treesvd

@@ -1,0 +1,55 @@
+#pragma once
+// Two-sided Jacobi eigensolver for symmetric matrices, driven by the same
+// parallel orderings as the SVD.
+//
+// The paper's orderings are general parallel Jacobi orderings: reference [2]
+// (Brent & Luk) applies them to both the SVD and the symmetric eigenvalue
+// problem. This module provides the eigenvalue side: A' = R^T A R with R a
+// product of the step's disjoint plane rotations, each annihilating one
+// off-diagonal element. Within a step all rotations are computed from the
+// same A, then applied as one row phase and one column phase — the standard
+// parallel two-sided update, so the engine parallelises per step exactly
+// like the one-sided SVD.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "linalg/matrix.hpp"
+
+namespace treesvd {
+
+struct EigenOptions {
+  /// Rotate only when |a_ij| > tol * sqrt(|a_ii a_jj|) (threshold strategy).
+  double tol = 1e-13;
+  int max_sweeps = 60;
+  bool compute_vectors = true;
+  /// Sort eigenvalues into nonincreasing order by value while iterating
+  /// (diagonal exchanges fused into the rotations, like the SVD engine).
+  bool sort_descending = true;
+  /// Record off(A) = sqrt(sum_{i != j} a_ij^2)/||A||_F after every sweep.
+  bool track_off = false;
+};
+
+struct EigenResult {
+  std::vector<double> eigenvalues;  ///< nonincreasing when sorted
+  Matrix eigenvectors;              ///< columns; empty when not requested
+  int sweeps = 0;
+  bool converged = false;
+  std::size_t rotations = 0;
+  std::size_t swaps = 0;
+  std::vector<double> off_history;
+};
+
+/// Eigendecomposition of a symmetric matrix using the given parallel Jacobi
+/// ordering. Pads internally with identity rows/columns when the ordering
+/// does not support n directly. Throws std::invalid_argument if `a` is not
+/// square or not symmetric (to 1e-12 * max|a|).
+EigenResult jacobi_symmetric_eigen(const Matrix& a, const Ordering& ordering,
+                                   const EigenOptions& options = {});
+
+/// Relative off-diagonal norm of a square matrix: the two-sided convergence
+/// measure.
+double off_norm(const Matrix& a);
+
+}  // namespace treesvd

@@ -1,0 +1,63 @@
+#include "linalg/blas1.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace treesvd {
+
+double dot(std::span<const double> x, std::span<const double> y) noexcept {
+  double s = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(std::span<const double> x) noexcept {
+  // LAPACK dnrm2-style scaled accumulation.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (double v : x) {
+    if (v == 0.0) continue;
+    const double a = std::fabs(v);
+    if (scale < a) {
+      const double r = scale / a;
+      ssq = 1.0 + ssq * r * r;
+      scale = a;
+    } else {
+      const double r = a / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) noexcept {
+  for (double& v : x) v *= alpha;
+}
+
+void swap(std::span<double> x, std::span<double> y) noexcept {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) std::swap(x[i], y[i]);
+}
+
+GramPair gram_pair(std::span<const double> x, std::span<const double> y) noexcept {
+  double xx = 0.0;
+  double yy = 0.0;
+  double xy = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    xx += xi * xi;
+    yy += yi * yi;
+    xy += xi * yi;
+  }
+  return {xx, yy, xy};
+}
+
+}  // namespace treesvd

@@ -1,0 +1,37 @@
+#pragma once
+// BLAS-1 style kernels on column views.
+//
+// These are the only dense kernels the one-sided Jacobi method needs: the
+// Gram elements of a column pair (dot products and squared norms) and the
+// plane-rotation updates. Written as plain loops the compiler can vectorise.
+
+#include <cstddef>
+#include <span>
+
+namespace treesvd {
+
+/// x . y
+double dot(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// ||x||_2, computed with scaling so that it neither overflows nor underflows.
+double nrm2(std::span<const double> x) noexcept;
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept;
+
+/// x *= alpha
+void scal(double alpha, std::span<double> x) noexcept;
+
+/// Swaps the contents of two equal-length vectors.
+void swap(std::span<double> x, std::span<double> y) noexcept;
+
+/// The three Gram elements of a column pair, in one fused pass:
+/// app = x.x, aqq = y.y, apq = x.y.
+struct GramPair {
+  double app;
+  double aqq;
+  double apq;
+};
+GramPair gram_pair(std::span<const double> x, std::span<const double> y) noexcept;
+
+}  // namespace treesvd

@@ -1,0 +1,78 @@
+#include "linalg/generators.hpp"
+
+#include <cmath>
+
+#include "linalg/blas1.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+
+Matrix random_gaussian(std::size_t m, std::size_t n, Rng& rng) {
+  TREESVD_REQUIRE(m > 0 && n > 0, "matrix dimensions must be positive");
+  Matrix a(m, n);
+  for (double& v : a.data()) v = rng.normal();
+  return a;
+}
+
+Matrix random_orthonormal(std::size_t m, std::size_t n, Rng& rng) {
+  TREESVD_REQUIRE(m >= n, "random_orthonormal requires m >= n");
+  Matrix q = random_gaussian(m, n, rng);
+  // Modified Gram-Schmidt with one reorthogonalisation pass ("twice is
+  // enough", Kahan/Parlett) keeps the defect near machine precision.
+  for (std::size_t j = 0; j < n; ++j) {
+    auto qj = q.col(j);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t k = 0; k < j; ++k) {
+        const auto qk = q.col(k);
+        axpy(-dot(qk, qj), qk, qj);
+      }
+    }
+    const double norm = nrm2(qj);
+    TREESVD_REQUIRE(norm > 0.0, "degenerate random draw in random_orthonormal");
+    scal(1.0 / norm, qj);
+  }
+  return q;
+}
+
+Matrix with_spectrum(std::size_t m, std::size_t n, const std::vector<double>& sigma, Rng& rng) {
+  TREESVD_REQUIRE(m >= n, "with_spectrum requires m >= n");
+  TREESVD_REQUIRE(sigma.size() == n, "need exactly n singular values");
+  const Matrix u = random_orthonormal(m, n, rng);
+  const Matrix v = random_orthonormal(n, n, rng);
+  Matrix us(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto src = u.col(j);
+    const auto dst = us.col(j);
+    for (std::size_t i = 0; i < m; ++i) dst[i] = src[i] * sigma[j];
+  }
+  return us * v.transposed();
+}
+
+std::vector<double> geometric_spectrum(std::size_t n, double cond) {
+  TREESVD_REQUIRE(n > 0, "spectrum length must be positive");
+  TREESVD_REQUIRE(cond >= 1.0, "condition number must be >= 1");
+  std::vector<double> sigma(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sigma[k] = n == 1 ? 1.0
+                      : std::pow(cond, -static_cast<double>(k) / static_cast<double>(n - 1));
+  }
+  return sigma;
+}
+
+Matrix rank_deficient(std::size_t m, std::size_t n, std::size_t rank, Rng& rng) {
+  TREESVD_REQUIRE(rank <= n, "rank cannot exceed the column count");
+  std::vector<double> sigma(n, 0.0);
+  const auto nz = geometric_spectrum(rank == 0 ? 1 : rank, 10.0);
+  for (std::size_t k = 0; k < rank; ++k) sigma[k] = nz[k];
+  return with_spectrum(m, n, sigma, rng);
+}
+
+Matrix hilbert(std::size_t n) {
+  Matrix h(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      h(i, j) = 1.0 / static_cast<double>(i + j + 1);
+  return h;
+}
+
+}  // namespace treesvd

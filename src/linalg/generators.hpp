@@ -1,0 +1,39 @@
+#pragma once
+// Test-matrix generators.
+//
+// The paper's experiments run on dense matrices with no special structure;
+// these generators provide the standard families used to exercise an SVD
+// code: random Gaussian, matrices with a prescribed spectrum (via random
+// orthogonal factors), rank-deficient matrices, and classical ill-conditioned
+// examples.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace treesvd {
+
+/// m x n with iid standard normal entries.
+Matrix random_gaussian(std::size_t m, std::size_t n, Rng& rng);
+
+/// Random matrix with orthonormal columns (thin QR of a Gaussian, via
+/// modified Gram-Schmidt with reorthogonalisation).
+Matrix random_orthonormal(std::size_t m, std::size_t n, Rng& rng);
+
+/// A = U diag(sigma) V^T with random orthogonal factors and the given
+/// singular values; sigma need not be sorted.
+Matrix with_spectrum(std::size_t m, std::size_t n, const std::vector<double>& sigma, Rng& rng);
+
+/// Geometrically graded spectrum sigma_k = cond^(-k/(n-1)), k = 0..n-1,
+/// so sigma_max/sigma_min == cond.
+std::vector<double> geometric_spectrum(std::size_t n, double cond);
+
+/// Rank-r matrix: r nonzero geometric singular values, the rest exactly zero.
+Matrix rank_deficient(std::size_t m, std::size_t n, std::size_t rank, Rng& rng);
+
+/// Hilbert matrix H(i,j) = 1/(i+j+1): classically ill-conditioned.
+Matrix hilbert(std::size_t n);
+
+}  // namespace treesvd

@@ -1,0 +1,173 @@
+#include "linalg/golub_kahan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+double sign_like(double magnitude, double sign_of) {
+  return sign_of >= 0.0 ? std::fabs(magnitude) : -std::fabs(magnitude);
+}
+
+}  // namespace
+
+Bidiagonal bidiagonalize(const Matrix& a) {
+  TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 1, "bidiagonalize expects m >= n >= 1");
+  Matrix w = a;  // working copy, consumed by the reflectors
+  const std::size_t m = w.rows();
+  const std::size_t n = w.cols();
+  Bidiagonal b;
+  b.diag.assign(n, 0.0);
+  b.super.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Left Householder: zero column k below the diagonal.
+    {
+      double norm2 = 0.0;
+      for (std::size_t i = k; i < m; ++i) norm2 += w(i, k) * w(i, k);
+      if (norm2 > 0.0) {
+        const double alpha = -sign_like(std::sqrt(norm2), w(k, k));
+        const double v0 = w(k, k) - alpha;
+        if (v0 != 0.0) {
+          for (std::size_t i = k + 1; i < m; ++i) w(i, k) /= v0;
+          const double beta = -v0 / alpha;
+          for (std::size_t j = k + 1; j < n; ++j) {
+            double dot_vx = w(k, j);
+            for (std::size_t i = k + 1; i < m; ++i) dot_vx += w(i, k) * w(i, j);
+            const double s = beta * dot_vx;
+            w(k, j) -= s;
+            for (std::size_t i = k + 1; i < m; ++i) w(i, j) -= s * w(i, k);
+          }
+        }
+        w(k, k) = alpha;
+      }
+      b.diag[k] = w(k, k);
+    }
+    // Right Householder: zero row k beyond the first superdiagonal.
+    if (k + 2 <= n) {
+      double norm2 = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) norm2 += w(k, j) * w(k, j);
+      if (norm2 > 0.0) {
+        const double alpha = -sign_like(std::sqrt(norm2), w(k, k + 1));
+        const double v0 = w(k, k + 1) - alpha;
+        if (v0 != 0.0) {
+          for (std::size_t j = k + 2; j < n; ++j) w(k, j) /= v0;
+          const double beta = -v0 / alpha;
+          for (std::size_t i = k + 1; i < m; ++i) {
+            double dot_vx = w(i, k + 1);
+            for (std::size_t j = k + 2; j < n; ++j) dot_vx += w(k, j) * w(i, j);
+            const double s = beta * dot_vx;
+            w(i, k + 1) -= s;
+            for (std::size_t j = k + 2; j < n; ++j) w(i, j) -= s * w(k, j);
+          }
+        }
+        w(k, k + 1) = alpha;
+      }
+      b.super[k + 1] = w(k, k + 1);
+    }
+  }
+  return b;
+}
+
+std::vector<double> bidiagonal_singular_values(Bidiagonal b) {
+  auto& d = b.diag;
+  auto& e = b.super;  // e[i] couples d[i-1] and d[i]
+  const std::size_t n = d.size();
+  TREESVD_REQUIRE(e.size() == n, "super-diagonal length mismatch");
+  if (n == 0) return {};
+
+  const double eps = 2.3e-16;
+  // Golub-Reinsch iteration (values-only variant of the classical svdcmp
+  // structure): deflate from the bottom, with the cancellation step for
+  // zero diagonal entries and a Wilkinson-type shift from the trailing 2x2.
+  for (std::size_t kk = n; kk-- > 0;) {
+    for (int iter = 0; iter < 60; ++iter) {
+      // Find the split: l such that e[l] ~ 0 (l == 0 always splits), or a
+      // zero diagonal entry d[l-1] requiring cancellation.
+      bool cancel = false;
+      std::size_t l = kk + 1;
+      while (l-- > 0) {
+        if (l == 0 || std::fabs(e[l]) <= eps * (std::fabs(d[l - 1]) + std::fabs(d[l]))) {
+          cancel = false;
+          break;
+        }
+        if (std::fabs(d[l - 1]) <= eps * (std::fabs(d[l]) + std::fabs(e[l]))) {
+          cancel = true;
+          break;
+        }
+      }
+      if (cancel) {
+        // d[l-1] ~ 0: rotate e[l..kk] away from the left so the block splits.
+        double c = 0.0;
+        double s = 1.0;
+        for (std::size_t i = l; i <= kk; ++i) {
+          const double f = s * e[i];
+          e[i] = c * e[i];
+          if (std::fabs(f) <= eps * (std::fabs(d[i]) + 1e-300)) break;
+          const double g = d[i];
+          const double h = std::hypot(f, g);
+          d[i] = h;
+          c = g / h;
+          s = -f / h;
+        }
+      }
+      const double z = d[kk];
+      if (l == kk) {
+        if (z < 0.0) d[kk] = -z;  // make nonnegative
+        break;                    // converged for this index
+      }
+      if (iter == 59) throw std::runtime_error("bidiagonal_singular_values: no convergence");
+
+      // Wilkinson-like shift from the trailing 2x2 of B^T B.
+      double x = d[l];
+      const double y = d[kk - 1];
+      const double g0 = e[kk - 1];
+      const double h0 = e[kk];
+      double f = ((y - z) * (y + z) + (g0 - h0) * (g0 + h0)) / (2.0 * h0 * y);
+      const double gg = std::hypot(f, 1.0);
+      f = ((x - z) * (x + z) + h0 * (y / (f + sign_like(gg, f)) - h0)) / x;
+
+      // Chase the bulge with Givens rotations.
+      double c = 1.0;
+      double s = 1.0;
+      for (std::size_t i = l + 1; i <= kk; ++i) {
+        double g = e[i];
+        double y2 = d[i];
+        double h = s * g;
+        g = c * g;
+        double zz = std::hypot(f, h);
+        e[i - 1] = zz;
+        c = f / zz;
+        s = h / zz;
+        f = x * c + g * s;
+        g = g * c - x * s;
+        h = y2 * s;
+        y2 *= c;
+        zz = std::hypot(f, h);
+        d[i - 1] = zz;
+        if (zz != 0.0) {
+          c = f / zz;
+          s = h / zz;
+        }
+        f = c * g + s * y2;
+        x = c * y2 - s * g;
+      }
+      e[l] = 0.0;
+      e[kk] = f;
+      d[kk] = x;
+    }
+  }
+
+  std::sort(d.begin(), d.end(), std::greater<>());
+  return d;
+}
+
+std::vector<double> golub_kahan_singular_values(const Matrix& a) {
+  return bidiagonal_singular_values(bidiagonalize(a));
+}
+
+}  // namespace treesvd

@@ -1,0 +1,117 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace treesvd {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::from_rows(std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  TREESVD_REQUIRE(r > 0, "from_rows needs at least one row");
+  const std::size_t c = rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    TREESVD_REQUIRE(row.size() == c, "ragged initializer list");
+    std::size_t j = 0;
+    for (double v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  TREESVD_REQUIRE(i < rows_ && j < cols_, "matrix index out of range");
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  TREESVD_REQUIRE(i < rows_ && j < cols_, "matrix index out of range");
+  return (*this)(i, j);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t j = 0; j < cols_; ++j)
+    for (std::size_t i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  // Two-pass scaled sum to avoid overflow/underflow on extreme data.
+  double scale = 0.0;
+  for (double v : data_) scale = std::max(scale, std::fabs(v));
+  if (scale == 0.0) return 0.0;
+  double sum = 0.0;
+  for (double v : data_) {
+    const double t = v / scale;
+    sum += t * t;
+  }
+  return scale * std::sqrt(sum);
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  TREESVD_REQUIRE(a.cols() == b.rows(), "matrix product dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // jki loop order: streams down columns of a and c (column-major friendly).
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double bkj = b(k, j);
+      if (bkj == 0.0) continue;
+      const auto ak = a.col(k);
+      const auto cj = c.col(j);
+      for (std::size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+    }
+  }
+  return c;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  TREESVD_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "matrix difference shape mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t k = 0; k < a.data().size(); ++k) c.data()[k] = a.data()[k] - b.data()[k];
+  return c;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  TREESVD_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "matrix sum shape mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t k = 0; k < a.data().size(); ++k) c.data()[k] = a.data()[k] + b.data()[k];
+  return c;
+}
+
+double orthonormality_defect(const Matrix& a) {
+  const Matrix g = a.transposed() * a;
+  return (g - Matrix::identity(g.rows())).frobenius_norm();
+}
+
+double reconstruction_error(const Matrix& a, const Matrix& u, std::span<const double> sigma,
+                            const Matrix& v) {
+  TREESVD_REQUIRE(u.cols() == sigma.size() && v.cols() == sigma.size(),
+                  "sigma length must match U/V column counts");
+  Matrix us(u.rows(), u.cols());
+  for (std::size_t j = 0; j < u.cols(); ++j) {
+    const auto src = u.col(j);
+    const auto dst = us.col(j);
+    for (std::size_t i = 0; i < u.rows(); ++i) dst[i] = src[i] * sigma[j];
+  }
+  return (a - us * v.transposed()).frobenius_norm();
+}
+
+}  // namespace treesvd

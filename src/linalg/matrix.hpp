@@ -1,0 +1,75 @@
+#pragma once
+// Dense column-major matrix.
+//
+// One-sided Jacobi SVD operates on whole columns, so the storage layout is
+// column-major and the primary accessor is col(j) -> std::span<double>.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace treesvd {
+
+/// Owning dense matrix of doubles, column-major.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from a row-major initializer list (convenient in tests):
+  /// Matrix::from_rows({{1,2},{3,4}}).
+  static Matrix from_rows(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) noexcept { return data_[j * rows_ + i]; }
+  double operator()(std::size_t i, std::size_t j) const noexcept { return data_[j * rows_ + i]; }
+
+  /// Bounds-checked element access (throws std::invalid_argument).
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  /// View of column j.
+  std::span<double> col(std::size_t j) noexcept { return {data_.data() + j * rows_, rows_}; }
+  std::span<const double> col(std::size_t j) const noexcept {
+    return {data_.data() + j * rows_, rows_};
+  }
+
+  std::span<double> data() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const double> data() const noexcept { return {data_.data(), data_.size()}; }
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+  /// Maximum absolute entry.
+  double max_abs() const noexcept;
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  bool operator==(const Matrix& other) const noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// ||A^T A - I||_F, the column-orthonormality defect used in tests.
+double orthonormality_defect(const Matrix& a);
+
+/// ||A - U*diag(sigma)*V^T||_F; sigma.size() must equal U.cols() == V.cols().
+double reconstruction_error(const Matrix& a, const Matrix& u, std::span<const double> sigma,
+                            const Matrix& v);
+
+}  // namespace treesvd

@@ -1,0 +1,93 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace treesvd {
+
+HouseholderQr::HouseholderQr(const Matrix& a) : qr_(a) {
+  TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 1, "QR expects m >= n >= 1");
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  beta_.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below the diagonal.
+    double norm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm2 += qr_(i, k) * qr_(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) continue;  // column already zero below (and on) diagonal
+    const double akk = qr_(k, k);
+    const double alpha = akk >= 0.0 ? -norm : norm;
+    // v = x - alpha e1, normalised so v[k] = 1.
+    const double v0 = akk - alpha;
+    if (v0 == 0.0) {  // x is already alpha*e1
+      qr_(k, k) = alpha;
+      continue;
+    }
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    beta_[k] = -v0 / alpha;  // beta = 2 / (v.v) for this normalisation
+    qr_(k, k) = alpha;
+    // Apply the reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double dot_vx = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) dot_vx += qr_(i, k) * qr_(i, j);
+      const double scale = beta_[k] * dot_vx;
+      qr_(k, j) -= scale;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= scale * qr_(i, k);
+    }
+  }
+}
+
+Matrix HouseholderQr::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix out(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) out(i, j) = qr_(i, j);
+  return out;
+}
+
+void HouseholderQr::apply_q(Matrix& b) const {
+  TREESVD_REQUIRE(b.rows() == qr_.rows(), "apply_q row mismatch");
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  // Q = H_0 H_1 ... H_{n-1}; apply from the last reflector backwards.
+  for (std::size_t k = n; k-- > 0;) {
+    if (beta_[k] == 0.0) continue;
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double dot_vx = b(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) dot_vx += qr_(i, k) * b(i, j);
+      const double scale = beta_[k] * dot_vx;
+      b(k, j) -= scale;
+      for (std::size_t i = k + 1; i < m; ++i) b(i, j) -= scale * qr_(i, k);
+    }
+  }
+}
+
+void HouseholderQr::apply_qt(Matrix& b) const {
+  TREESVD_REQUIRE(b.rows() == qr_.rows(), "apply_qt row mismatch");
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double dot_vx = b(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) dot_vx += qr_(i, k) * b(i, j);
+      const double scale = beta_[k] * dot_vx;
+      b(k, j) -= scale;
+      for (std::size_t i = k + 1; i < m; ++i) b(i, j) -= scale * qr_(i, k);
+    }
+  }
+}
+
+Matrix HouseholderQr::thin_q() const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  apply_q(q);
+  return q;
+}
+
+}  // namespace treesvd

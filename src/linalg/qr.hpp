@@ -1,0 +1,40 @@
+#pragma once
+// Householder QR factorisation, used to precondition tall SVD problems:
+// A = Q R with Q implicit (stored as Householder reflectors); the SVD of the
+// small n x n factor R is then computed by the Jacobi engine and U = Q U_R.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace treesvd {
+
+/// Compact QR factorisation of an m x n matrix, m >= n.
+class HouseholderQr {
+ public:
+  explicit HouseholderQr(const Matrix& a);
+
+  std::size_t rows() const noexcept { return qr_.rows(); }
+  std::size_t cols() const noexcept { return qr_.cols(); }
+
+  /// The upper-triangular factor R (n x n).
+  Matrix r() const;
+
+  /// Applies Q to an m x k matrix: B <- Q * B (expands k-column coordinates
+  /// in the Q basis when B's top n rows carry the coefficients and the rest
+  /// are zero). B must have rows() rows.
+  void apply_q(Matrix& b) const;
+
+  /// Applies Q^T to an m x k matrix: B <- Q^T * B.
+  void apply_qt(Matrix& b) const;
+
+  /// Explicit thin Q (m x n), mainly for tests.
+  Matrix thin_q() const;
+
+ private:
+  Matrix qr_;                 ///< reflectors below the diagonal, R on/above
+  std::vector<double> beta_;  ///< reflector scalars
+};
+
+}  // namespace treesvd

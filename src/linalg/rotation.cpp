@@ -1,0 +1,47 @@
+#include "linalg/rotation.hpp"
+
+#include <cmath>
+
+namespace treesvd {
+
+bool is_orthogonal(const GramPair& g, double tol) noexcept {
+  return std::fabs(g.apq) <= tol * std::sqrt(g.app) * std::sqrt(g.aqq);
+}
+
+JacobiRotation compute_rotation(const GramPair& g, double tol) noexcept {
+  if (g.app == 0.0 || g.aqq == 0.0) return {};  // zero column: nothing to rotate
+  if (is_orthogonal(g, tol)) return {};
+  const double zeta = (g.aqq - g.app) / (2.0 * g.apq);
+  const double t = (zeta >= 0.0 ? 1.0 : -1.0) / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  return {c, c * t, false};
+}
+
+void apply_rotation(std::span<double> x, std::span<double> y, double c, double s) noexcept {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+void apply_rotation_swapped(std::span<double> x, std::span<double> y, double c,
+                            double s) noexcept {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    x[i] = s * xi + c * yi;
+    y[i] = c * xi - s * yi;
+  }
+}
+
+RotatedNorms rotated_norms(const GramPair& g, const JacobiRotation& r) noexcept {
+  if (r.identity || r.c == 0.0) return {g.app, g.aqq};
+  const double t = r.s / r.c;
+  return {g.app - t * g.apq, g.aqq + t * g.apq};
+}
+
+}  // namespace treesvd

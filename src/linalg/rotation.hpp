@@ -1,0 +1,58 @@
+#pragma once
+// Plane rotations for the Hestenes one-sided Jacobi method.
+//
+// A rotation orthogonalises two columns x, y of A. With Gram elements
+//   app = x.x,  aqq = y.y,  apq = x.y
+// we use the Rutishauser small-angle formulas:
+//   zeta = (aqq - app) / (2 apq)
+//   t    = sign(zeta) / (|zeta| + sqrt(1 + zeta^2))      (smaller root)
+//   c    = 1 / sqrt(1 + t^2),  s = c t
+// and update  x' = c x - s y,  y' = s x + c y.
+//
+// The paper's equation (3) fuses a column interchange into the rotation
+// ("rotate and swap") so that sorting the singular values never requires an
+// explicit column exchange: x'' = s x + c y, y'' = c x - s y.
+
+#include <span>
+
+#include "linalg/blas1.hpp"
+
+namespace treesvd {
+
+/// Cosine/sine pair of a Jacobi plane rotation.
+struct JacobiRotation {
+  double c = 1.0;
+  double s = 0.0;
+  /// True when the pair was already orthogonal (to the threshold) and no
+  /// rotation is needed.
+  bool identity = true;
+};
+
+/// Relative-orthogonality test: |apq| <= tol * sqrt(app * aqq).
+/// This is the threshold strategy of the classical Jacobi method; pairs below
+/// the threshold are skipped, which also prevents cycling.
+bool is_orthogonal(const GramPair& g, double tol) noexcept;
+
+/// Computes the rotation that orthogonalises a column pair with the given
+/// Gram elements. Returns identity when is_orthogonal(g, tol), or when a
+/// column has zero norm (rank-deficient input).
+JacobiRotation compute_rotation(const GramPair& g, double tol) noexcept;
+
+/// x' = c x - s y,  y' = s x + c y.
+void apply_rotation(std::span<double> x, std::span<double> y, double c, double s) noexcept;
+
+/// Paper eq. (3): rotation followed by interchange, fused:
+/// x'' = s x + c y,  y'' = c x - s y.
+void apply_rotation_swapped(std::span<double> x, std::span<double> y, double c,
+                            double s) noexcept;
+
+/// Post-rotation squared norms (standard update): the rotation moves t*apq of
+/// squared norm from x to y, where t = s/c.
+///   new app = app - t*apq,  new aqq = aqq + t*apq.
+struct RotatedNorms {
+  double app;
+  double aqq;
+};
+RotatedNorms rotated_norms(const GramPair& g, const JacobiRotation& r) noexcept;
+
+}  // namespace treesvd

@@ -1,0 +1,143 @@
+#include "linalg/symmetric_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+double hypot2(double a, double b) noexcept { return std::hypot(a, b); }
+
+}  // namespace
+
+Tridiagonal tridiagonalize(const Matrix& sym) {
+  TREESVD_REQUIRE(sym.rows() == sym.cols(), "tridiagonalize needs a square matrix");
+  const std::size_t n = sym.rows();
+  Matrix a = sym;  // working copy; lower triangle is consumed
+  std::vector<double> d(n, 0.0);
+  std::vector<double> e(n, 0.0);
+
+  // Householder reduction (eigenvalues-only variant of EISPACK tred1,
+  // operating on rows i = n-1 .. 1).
+  for (std::size_t i = n; i-- > 1;) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          // form element of A*u in e[j]
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          g = e[j] - hh * f;
+          e[j] = g;
+          for (std::size_t k = 0; k <= j; ++k) a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) d[i] = a(i, i);
+  return Tridiagonal{std::move(d), std::move(e)};
+}
+
+std::vector<double> tql_eigenvalues(Tridiagonal t) {
+  auto& d = t.diag;
+  auto& e = t.sub;
+  const std::size_t n = d.size();
+  TREESVD_REQUIRE(e.size() == n, "sub-diagonal length mismatch");
+  if (n == 0) return {};
+
+  // Shift the sub-diagonal left (tqli convention: e[0..n-2] are the couplings).
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m = l;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-300 || std::fabs(e[m]) <= 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 50) throw std::runtime_error("tql_eigenvalues: no convergence");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = hypot2(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = hypot2(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+std::vector<double> symmetric_eigenvalues(const Matrix& sym) {
+  return tql_eigenvalues(tridiagonalize(sym));
+}
+
+std::vector<double> singular_values_oracle(const Matrix& a) {
+  TREESVD_REQUIRE(a.rows() >= a.cols(), "oracle expects m >= n");
+  const Matrix gram = a.transposed() * a;
+  std::vector<double> ev = symmetric_eigenvalues(gram);
+  std::vector<double> sigma(ev.size());
+  for (std::size_t k = 0; k < ev.size(); ++k) {
+    const double lambda = std::max(ev[ev.size() - 1 - k], 0.0);
+    sigma[k] = std::sqrt(lambda);
+  }
+  return sigma;  // descending
+}
+
+}  // namespace treesvd

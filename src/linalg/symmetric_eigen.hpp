@@ -1,0 +1,37 @@
+#pragma once
+// Independent singular-value oracle.
+//
+// Tests cross-check the Jacobi SVD against a different algorithm family:
+// Householder tridiagonalization of A^T A followed by the implicit-shift QL
+// iteration. Squaring A halves the attainable accuracy for tiny singular
+// values, which is fine for an oracle used with moderate condition numbers.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace treesvd {
+
+/// Symmetric tridiagonal form of a symmetric matrix (eigenvalues only; no
+/// accumulation of the orthogonal factor).
+struct Tridiagonal {
+  std::vector<double> diag;  ///< d[0..n-1]
+  std::vector<double> sub;   ///< e[1..n-1]; e[0] unused (kept 0)
+};
+
+/// Householder reduction of a symmetric matrix to tridiagonal form.
+Tridiagonal tridiagonalize(const Matrix& sym);
+
+/// Eigenvalues of a symmetric tridiagonal matrix by implicit-shift QL,
+/// returned in ascending order. Throws std::runtime_error if an eigenvalue
+/// fails to converge in 50 iterations (does not happen for real inputs).
+std::vector<double> tql_eigenvalues(Tridiagonal t);
+
+/// Eigenvalues of a symmetric matrix, ascending.
+std::vector<double> symmetric_eigenvalues(const Matrix& sym);
+
+/// Singular values of A via eigenvalues of A^T A, descending, negatives
+/// clamped to zero.
+std::vector<double> singular_values_oracle(const Matrix& a);
+
+}  // namespace treesvd

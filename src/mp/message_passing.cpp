@@ -1,0 +1,107 @@
+#include "mp/message_passing.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/require.hpp"
+
+namespace treesvd::mp {
+
+int Context::size() const noexcept { return world_->size(); }
+
+void Context::send(int dst, std::uint64_t tag, std::vector<double> data) {
+  world_->deliver(dst, rank_, tag, std::move(data));
+}
+
+std::vector<double> Context::recv(int src, std::uint64_t tag) {
+  return world_->take(rank_, src, tag);
+}
+
+void Context::barrier() { world_->barrier_wait(); }
+
+double Context::allreduce_sum(double value) {
+  // Two-phase: accumulate under the sync lock, publish at the last arrival,
+  // then a second barrier protects the result from the next round's reset.
+  std::unique_lock<std::mutex> lock(world_->sync_mu_);
+  world_->reduce_accum_ += value;
+  const std::uint64_t generation = world_->sync_generation_;
+  if (++world_->sync_waiting_ == world_->size()) {
+    world_->reduce_result_ = world_->reduce_accum_;
+    world_->reduce_accum_ = 0.0;
+    world_->sync_waiting_ = 0;
+    ++world_->sync_generation_;
+    world_->sync_cv_.notify_all();
+  } else {
+    world_->sync_cv_.wait(lock, [&] { return world_->sync_generation_ != generation; });
+  }
+  return world_->reduce_result_;
+}
+
+World::World(int ranks) {
+  TREESVD_REQUIRE(ranks >= 1, "need at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::deliver(int dst, int src, std::uint64_t tag, std::vector<double> data) {
+  TREESVD_REQUIRE(dst >= 0 && dst < size(), "send: destination rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(Packet{std::move(data)});
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  box.cv.notify_all();
+}
+
+std::vector<double> World::take(int rank, int src, std::uint64_t tag) {
+  TREESVD_REQUIRE(src >= 0 && src < size(), "recv: source rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto it = box.queues.find(key);
+  Packet p = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) box.queues.erase(it);
+  return std::move(p.data);
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  const std::uint64_t generation = sync_generation_;
+  if (++sync_waiting_ == size()) {
+    sync_waiting_ = 0;
+    reduce_accum_ = 0.0;  // barriers and reduces share the counter
+    ++sync_generation_;
+    sync_cv_.notify_all();
+  } else {
+    sync_cv_.wait(lock, [&] { return sync_generation_ != generation; });
+  }
+}
+
+void World::run(const std::function<void(Context&)>& program) {
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([&, r] {
+      Context ctx(this, r);
+      try {
+        program(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace treesvd::mp

@@ -1,0 +1,104 @@
+#pragma once
+// Minimal message-passing runtime (a CMMD/MPI-flavoured substrate).
+//
+// The paper's implementation target was the CM-5's message-passing library;
+// this header provides the same programming model in-process: an SPMD world
+// of P ranks (std::threads), blocking tagged send/recv with per-rank
+// mailboxes, barriers, and a sum-allreduce. svd/spmd.hpp builds the actual
+// rank-per-leaf Jacobi program on top of it.
+//
+// Semantics:
+//   * send(dst, tag, data) — asynchronous (buffered), never blocks.
+//   * recv(src, tag)       — blocks until a matching message arrives;
+//                            messages from one src with one tag arrive in
+//                            send order.
+//   * barrier()            — all ranks.
+//   * allreduce_sum(x)     — returns the sum over all ranks.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace treesvd::mp {
+
+/// A message: raw doubles plus the sender's tag.
+struct Packet {
+  std::vector<double> data;
+};
+
+class World;
+
+/// Per-rank handle passed to the SPMD program.
+class Context {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Buffered send; never blocks.
+  void send(int dst, std::uint64_t tag, std::vector<double> data);
+
+  /// Blocking receive of the next message from `src` with `tag`.
+  std::vector<double> recv(int src, std::uint64_t tag);
+
+  /// Synchronises all ranks.
+  void barrier();
+
+  /// Sum of `value` over all ranks (synchronising).
+  double allreduce_sum(double value);
+
+ private:
+  friend class World;
+  Context(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+/// An SPMD world: constructs P mailboxes and runs a program on P threads.
+class World {
+ public:
+  explicit World(int ranks);
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+
+  /// Runs program(ctx) on every rank concurrently; returns when all finish.
+  /// Exceptions thrown by any rank are rethrown (first one wins).
+  void run(const std::function<void(Context&)>& program);
+
+  /// Total messages delivered since construction (for tests/stats).
+  std::size_t delivered() const noexcept { return delivered_.load(); }
+
+ private:
+  friend class Context;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    // key: (src, tag)
+    std::map<std::pair<int, std::uint64_t>, std::deque<Packet>> queues;
+  };
+
+  void deliver(int dst, int src, std::uint64_t tag, std::vector<double> data);
+  std::vector<double> take(int rank, int src, std::uint64_t tag);
+  void barrier_wait();
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Barrier + allreduce state.
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  int sync_waiting_ = 0;
+  std::uint64_t sync_generation_ = 0;
+  double reduce_accum_ = 0.0;
+  double reduce_result_ = 0.0;
+
+  std::atomic<std::size_t> delivered_{0};
+};
+
+}  // namespace treesvd::mp

@@ -1,0 +1,60 @@
+#include "network/topology.hpp"
+
+#include "util/require.hpp"
+
+namespace treesvd {
+
+std::string to_string(CapacityProfile profile) {
+  switch (profile) {
+    case CapacityProfile::kPerfect: return "perfect-fat-tree";
+    case CapacityProfile::kConstant: return "binary-tree";
+    case CapacityProfile::kCm5: return "cm5-skinny";
+  }
+  return "?";
+}
+
+FatTreeTopology::FatTreeTopology(int leaves, CapacityProfile profile, double base_capacity)
+    : leaves_(leaves), levels_(0), profile_(profile), base_capacity_(base_capacity) {
+  TREESVD_REQUIRE(leaves >= 1 && (leaves & (leaves - 1)) == 0,
+                  "leaf count must be a power of two");
+  TREESVD_REQUIRE(base_capacity > 0.0, "channel capacity must be positive");
+  for (int p = leaves; p > 1; p /= 2) ++levels_;
+}
+
+double FatTreeTopology::capacity(int level) const {
+  TREESVD_REQUIRE(level >= 1 && level <= levels_, "level out of range");
+  switch (profile_) {
+    case CapacityProfile::kPerfect:
+      return base_capacity_ * static_cast<double>(1LL << (level - 1));
+    case CapacityProfile::kConstant:
+      return base_capacity_;
+    case CapacityProfile::kCm5:
+      return base_capacity_ * static_cast<double>(1LL << (level / 2));
+  }
+  return base_capacity_;
+}
+
+int FatTreeTopology::route_level(int leaf_a, int leaf_b) const {
+  TREESVD_REQUIRE(leaf_a >= 0 && leaf_a < leaves_ && leaf_b >= 0 && leaf_b < leaves_,
+                  "leaf out of range");
+  int level = 0;
+  while (leaf_a != leaf_b) {
+    leaf_a /= 2;
+    leaf_b /= 2;
+    ++level;
+  }
+  return level;
+}
+
+int FatTreeTopology::edges_at_level(int level) const {
+  TREESVD_REQUIRE(level >= 1 && level <= levels_, "level out of range");
+  return leaves_ >> (level - 1);
+}
+
+int FatTreeTopology::edge_index(int leaf, int level) const {
+  TREESVD_REQUIRE(leaf >= 0 && leaf < leaves_, "leaf out of range");
+  TREESVD_REQUIRE(level >= 1 && level <= levels_, "level out of range");
+  return leaf >> (level - 1);
+}
+
+}  // namespace treesvd

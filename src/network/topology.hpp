@@ -1,0 +1,60 @@
+#pragma once
+// Fat-tree interconnect model (Section 2 of the paper).
+//
+// A (binary) fat-tree over P leaf processors has levels 1..log2(P); each edge
+// at level l connects a level-(l-1) node (or a leaf for l = 1) to its parent
+// and consists of an upward and a downward channel. The capacity profile is
+// what distinguishes the machines the paper discusses:
+//   * perfect fat-tree: capacity doubles each level (constant bisection),
+//   * ordinary binary tree ("skinny all over"): constant capacity,
+//   * CM-5-like: the 4-way tree's data network modelled as a binary fat-tree
+//     whose capacities double every *second* level (factor ~sqrt(2)/level) —
+//     full at the two bottom levels, skinny above.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace treesvd {
+
+enum class CapacityProfile {
+  kPerfect,   ///< capacity(l) = base * 2^(l-1)
+  kConstant,  ///< capacity(l) = base (ordinary binary tree)
+  kCm5,       ///< capacity(l) = base * 2^floor(l/2)
+};
+
+std::string to_string(CapacityProfile profile);
+
+/// Binary fat-tree over a power-of-two number of leaves.
+class FatTreeTopology {
+ public:
+  /// `base_capacity` is the word bandwidth of a level-1 channel per time
+  /// unit.
+  FatTreeTopology(int leaves, CapacityProfile profile, double base_capacity = 1.0);
+
+  int leaves() const noexcept { return leaves_; }
+  int levels() const noexcept { return levels_; }
+  CapacityProfile profile() const noexcept { return profile_; }
+
+  /// Channel capacity at a level (words per time unit, per direction).
+  double capacity(int level) const;
+
+  /// Level of the lowest common ancestor of two leaves: 0 if equal, 1 for
+  /// siblings, ... levels() for opposite halves.
+  int route_level(int leaf_a, int leaf_b) const;
+
+  /// Number of edges at a level (each with an up and a down channel).
+  int edges_at_level(int level) const;
+
+  /// Identifies the level-l edge on the path from a leaf towards the root:
+  /// the index of the level-l node above the leaf.
+  int edge_index(int leaf, int level) const;
+
+ private:
+  int leaves_;
+  int levels_;
+  CapacityProfile profile_;
+  double base_capacity_;
+};
+
+}  // namespace treesvd

@@ -1,0 +1,73 @@
+#include "network/traffic.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace treesvd {
+
+TrafficStep::TrafficStep(const FatTreeTopology& topo) : topo_(&topo) {
+  up_.resize(static_cast<std::size_t>(topo.levels()));
+  down_.resize(static_cast<std::size_t>(topo.levels()));
+  up_msgs_.resize(static_cast<std::size_t>(topo.levels()));
+  down_msgs_.resize(static_cast<std::size_t>(topo.levels()));
+  for (int l = 1; l <= topo.levels(); ++l) {
+    const auto edges = static_cast<std::size_t>(topo.edges_at_level(l));
+    up_[static_cast<std::size_t>(l - 1)].assign(edges, 0.0);
+    down_[static_cast<std::size_t>(l - 1)].assign(edges, 0.0);
+    up_msgs_[static_cast<std::size_t>(l - 1)].assign(edges, 0.0);
+    down_msgs_[static_cast<std::size_t>(l - 1)].assign(edges, 0.0);
+  }
+}
+
+void TrafficStep::add(const Message& message) {
+  TREESVD_REQUIRE(message.words >= 0.0, "negative message size");
+  const int lca = topo_->route_level(message.from_leaf, message.to_leaf);
+  if (lca == 0) return;  // same leaf: no network traffic
+  for (int l = 1; l <= lca; ++l) {
+    const auto lvl = static_cast<std::size_t>(l - 1);
+    const auto ue = static_cast<std::size_t>(topo_->edge_index(message.from_leaf, l));
+    const auto de = static_cast<std::size_t>(topo_->edge_index(message.to_leaf, l));
+    up_[lvl][ue] += message.words;
+    down_[lvl][de] += message.words;
+    up_msgs_[lvl][ue] += 1.0;
+    down_msgs_[lvl][de] += 1.0;
+  }
+  max_level_ = std::max(max_level_, lca);
+  ++messages_;
+  total_words_ += message.words;
+}
+
+StepTraffic TrafficStep::finish(double alpha) const {
+  StepTraffic out;
+  out.max_level = max_level_;
+  out.messages = messages_;
+  out.total_words = total_words_;
+  const double base_cap = topo_->levels() >= 1 ? topo_->capacity(1) : 1.0;
+  for (int l = 1; l <= topo_->levels(); ++l) {
+    const double cap = topo_->capacity(l);
+    for (const auto* dir : {&up_, &down_}) {
+      for (double w : (*dir)[static_cast<std::size_t>(l - 1)]) {
+        out.max_channel_load = std::max(out.max_channel_load, w);
+        out.max_overload = std::max(out.max_overload, w / cap);
+        out.time = std::max(out.time, w / cap);
+      }
+    }
+    for (const auto* dir : {&up_msgs_, &down_msgs_}) {
+      for (double k : (*dir)[static_cast<std::size_t>(l - 1)])
+        out.max_contention = std::max(out.max_contention, k * base_cap / cap);
+    }
+  }
+  out.time += alpha * max_level_;
+  return out;
+}
+
+double TrafficStep::level_peak_load(int level) const {
+  TREESVD_REQUIRE(level >= 1 && level <= topo_->levels(), "level out of range");
+  double peak = 0.0;
+  for (const auto* dir : {&up_, &down_})
+    for (double w : (*dir)[static_cast<std::size_t>(level - 1)]) peak = std::max(peak, w);
+  return peak;
+}
+
+}  // namespace treesvd

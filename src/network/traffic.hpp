@@ -1,0 +1,68 @@
+#pragma once
+// Per-step traffic accounting and the contention cost model.
+//
+// Jacobi orderings are step-synchronous: between two compute steps all column
+// transfers happen "at once". The model charges each transfer to every
+// channel on its up-over-down route and prices the step as the busiest
+// channel's serialisation time, plus a per-hop latency for the deepest route:
+//
+//   step_time = alpha * max_route_level + max_over_channels(words / capacity)
+//
+// A channel asked to carry more words than its per-step capacity serialises
+// them — that is the contention the paper's hybrid ordering is designed to
+// avoid on skinny trees.
+
+#include <cstddef>
+#include <vector>
+
+#include "network/topology.hpp"
+
+namespace treesvd {
+
+/// One inter-leaf message.
+struct Message {
+  int from_leaf = 0;
+  int to_leaf = 0;
+  double words = 0.0;
+};
+
+/// Statistics of a single synchronous communication step.
+struct StepTraffic {
+  double time = 0.0;              ///< modelled step time
+  double max_channel_load = 0.0;  ///< words through the busiest channel
+  double max_overload = 0.0;      ///< max over channels of words/capacity
+  /// Contention factor: max over channels of simultaneous messages divided by
+  /// the channel's capacity relative to a level-1 channel. <= 1 means no
+  /// channel is busier than an uncontended leaf link (the paper's
+  /// "no contention" condition for the hybrid ordering).
+  double max_contention = 0.0;
+  int max_level = 0;              ///< deepest level any message crossed
+  std::size_t messages = 0;
+  double total_words = 0.0;
+};
+
+/// Accumulates the messages of one step and prices it on a topology.
+class TrafficStep {
+ public:
+  explicit TrafficStep(const FatTreeTopology& topo);
+
+  void add(const Message& message);
+
+  /// Prices the step; `alpha` is the per-level hop latency in time units.
+  StepTraffic finish(double alpha = 1.0) const;
+
+  /// Words carried by the busiest channel at one level.
+  double level_peak_load(int level) const;
+
+ private:
+  const FatTreeTopology* topo_;
+  std::vector<std::vector<double>> up_;    ///< [level-1][edge] words
+  std::vector<std::vector<double>> down_;  ///< [level-1][edge] words
+  std::vector<std::vector<double>> up_msgs_;    ///< [level-1][edge] messages
+  std::vector<std::vector<double>> down_msgs_;  ///< [level-1][edge] messages
+  int max_level_ = 0;
+  std::size_t messages_ = 0;
+  double total_words_ = 0.0;
+};
+
+}  // namespace treesvd

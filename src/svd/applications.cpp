@@ -1,0 +1,100 @@
+#include "svd/applications.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/blas1.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+SvdResult decompose(const Matrix& a, const Ordering& ordering) {
+  SvdResult r = one_sided_jacobi(a, ordering);
+  TREESVD_REQUIRE(r.converged, "SVD did not converge within the sweep limit");
+  return r;
+}
+
+std::size_t rank_at(const SvdResult& r, double rcond) {
+  // sigma is sorted nonincreasing, so the rank is a prefix length.
+  if (r.sigma.empty() || r.sigma.front() == 0.0) return 0;
+  const double cut = rcond * r.sigma.front();
+  std::size_t k = 0;
+  while (k < r.sigma.size() && r.sigma[k] > cut) ++k;
+  return k;
+}
+
+}  // namespace
+
+std::vector<double> least_squares_solve(const Matrix& a, std::span<const double> b,
+                                        const Ordering& ordering, double rcond) {
+  TREESVD_REQUIRE(b.size() == a.rows(), "rhs length must equal the row count");
+  const SvdResult r = decompose(a, ordering);
+  const std::size_t rank = rank_at(r, rcond);
+  std::vector<double> x(a.cols(), 0.0);
+  for (std::size_t j = 0; j < rank; ++j) {
+    const double coef = dot(r.u.col(j), b) / r.sigma[j];
+    axpy(coef, r.v.col(j), x);
+  }
+  return x;
+}
+
+Matrix pseudo_inverse(const Matrix& a, const Ordering& ordering, double rcond) {
+  const SvdResult r = decompose(a, ordering);
+  const std::size_t rank = rank_at(r, rcond);
+  // A+ = V diag(1/sigma) U^T, truncated.
+  Matrix pinv(a.cols(), a.rows());
+  for (std::size_t j = 0; j < rank; ++j) {
+    const auto vj = r.v.col(j);
+    const auto uj = r.u.col(j);
+    const double inv = 1.0 / r.sigma[j];
+    for (std::size_t col = 0; col < a.rows(); ++col) {
+      const double w = inv * uj[col];
+      const auto dst = pinv.col(col);
+      for (std::size_t row = 0; row < a.cols(); ++row) dst[row] += vj[row] * w;
+    }
+  }
+  return pinv;
+}
+
+Matrix low_rank_approximation(const Matrix& a, std::size_t k, const Ordering& ordering) {
+  const SvdResult r = decompose(a, ordering);
+  k = std::min(k, rank_at(r, 1e-15));
+  Matrix ak(a.rows(), a.cols());
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto uj = r.u.col(j);
+    const auto vj = r.v.col(j);
+    for (std::size_t col = 0; col < a.cols(); ++col) {
+      const double w = r.sigma[j] * vj[col];
+      const auto dst = ak.col(col);
+      for (std::size_t row = 0; row < a.rows(); ++row) dst[row] += uj[row] * w;
+    }
+  }
+  return ak;
+}
+
+double condition_number(const Matrix& a, const Ordering& ordering, double rcond) {
+  const SvdResult r = decompose(a, ordering);
+  const std::size_t rank = rank_at(r, rcond);
+  if (rank < r.sigma.size()) return std::numeric_limits<double>::infinity();
+  return r.sigma.front() / r.sigma.back();
+}
+
+std::size_t numerical_rank(const Matrix& a, const Ordering& ordering, double rcond) {
+  return rank_at(decompose(a, ordering), rcond);
+}
+
+Matrix nullspace_basis(const Matrix& a, const Ordering& ordering, double rcond) {
+  const SvdResult r = decompose(a, ordering);
+  const std::size_t rank = rank_at(r, rcond);
+  const std::size_t dim = a.cols() - rank;
+  Matrix basis(a.cols(), dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    const auto src = r.v.col(rank + j);
+    const auto dst = basis.col(j);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return basis;
+}
+
+}  // namespace treesvd

@@ -1,0 +1,40 @@
+#pragma once
+// SVD applications: the standard consumers of a (sorted) singular value
+// decomposition, packaged as library calls. Everything here takes an
+// Ordering so downstream code exercises the same parallel engines.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "linalg/matrix.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+
+/// Minimum-norm least-squares solution of min ||A x - b||_2 via the truncated
+/// pseudoinverse: singular values below rcond * sigma_max are treated as zero
+/// (the paper's Section-1 motivation for sorted singular values). b.size()
+/// must equal a.rows().
+std::vector<double> least_squares_solve(const Matrix& a, std::span<const double> b,
+                                        const Ordering& ordering, double rcond = 1e-12);
+
+/// Moore-Penrose pseudoinverse A+ (n x m) with the same truncation rule.
+Matrix pseudo_inverse(const Matrix& a, const Ordering& ordering, double rcond = 1e-12);
+
+/// Best rank-k approximation in the Frobenius norm (Eckart-Young):
+/// A_k = sum_{i<k} sigma_i u_i v_i^T. k is clamped to the numerical rank.
+Matrix low_rank_approximation(const Matrix& a, std::size_t k, const Ordering& ordering);
+
+/// sigma_max / sigma_min (infinity when numerically rank-deficient at rcond).
+double condition_number(const Matrix& a, const Ordering& ordering, double rcond = 1e-12);
+
+/// Numerical rank at the given relative threshold.
+std::size_t numerical_rank(const Matrix& a, const Ordering& ordering, double rcond = 1e-12);
+
+/// Orthonormal basis of the (right) null space: the columns of V whose
+/// singular values fall below rcond * sigma_max. n x (n - rank).
+Matrix nullspace_basis(const Matrix& a, const Ordering& ordering, double rcond = 1e-12);
+
+}  // namespace treesvd

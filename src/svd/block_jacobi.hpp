@@ -1,0 +1,37 @@
+#pragma once
+// Block one-sided Jacobi SVD.
+//
+// The element-wise engine sends one column per message; on machines where
+// latency dominates (the CM-5's alpha is large), the classical remedy —
+// reference [1] of the paper (Bischof's block Jacobi) and the block ring of
+// Section 5 — is to treat b columns as one unit: the same parallel orderings
+// drive *blocks*, and when two blocks meet, their 2b columns are mutually
+// orthogonalised by an inner (local, communication-free) cyclic Jacobi pass.
+// Fewer, larger messages; fewer outer sweeps.
+
+#include "core/ordering.hpp"
+#include "linalg/matrix.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+
+struct BlockJacobiOptions {
+  /// Columns per block (>= 1). The ordering runs over ceil(n/b) blocks
+  /// (padded with zero columns to a supported block count).
+  int block_width = 4;
+  /// Inner cyclic sweeps over a met block pair's 2b columns per encounter.
+  int inner_sweeps = 2;
+  double tol = 1e-13;
+  int max_outer_sweeps = 60;
+  SortMode sort = SortMode::kDescending;
+  bool compute_v = true;
+  double rank_tol = 1e-12;
+};
+
+/// Block one-sided Jacobi SVD of an m x n matrix (m >= n) with the given
+/// block-level parallel ordering. Semantics of the result match
+/// one_sided_jacobi; `sweeps` counts outer (block) sweeps.
+SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
+                                 const BlockJacobiOptions& options = {});
+
+}  // namespace treesvd

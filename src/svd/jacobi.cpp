@@ -1,0 +1,208 @@
+#include "svd/jacobi.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+#include "linalg/blas1.hpp"
+#include "linalg/rotation.hpp"
+#include "svd/pair_kernel.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+using detail::PairOutcome;
+using detail::process_pair;
+
+/// Pads A with zero columns to the nearest width the ordering supports.
+Matrix pad_columns(const Matrix& a, const Ordering& ordering, int* padded_n) {
+  const int n = static_cast<int>(a.cols());
+  for (int w = n; w <= 2 * n + 4; ++w) {
+    if (!ordering.supports(w)) continue;
+    *padded_n = w;
+    if (w == n) return a;
+    Matrix p(a.rows(), static_cast<std::size_t>(w));
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const auto src = a.col(j);
+      const auto dst = p.col(j);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return p;
+  }
+  TREESVD_REQUIRE(false, ordering.name() + " supports no width in [n, 2n+4] for n=" +
+                             std::to_string(n));
+  return {};
+}
+
+SvdResult finalize(Matrix h, Matrix v, std::size_t orig_cols, const JacobiOptions& opt,
+                   SvdResult partial) {
+  const std::size_t n = orig_cols;
+  SvdResult r = std::move(partial);
+  r.sigma.resize(n);
+  for (std::size_t j = 0; j < n; ++j) r.sigma[j] = nrm2(h.col(j));
+  const double smax = *std::max_element(r.sigma.begin(), r.sigma.end());
+
+  r.u = Matrix(h.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (r.sigma[j] > opt.rank_tol * smax && r.sigma[j] > 0.0) {
+      const auto src = h.col(j);
+      const auto dst = r.u.col(j);
+      for (std::size_t i = 0; i < h.rows(); ++i) dst[i] = src[i] / r.sigma[j];
+    }
+  }
+  if (opt.compute_v) {
+    r.v = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto src = v.col(j);
+      const auto dst = r.v.col(j);
+      std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n), dst.begin());
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::size_t SvdResult::rank(double rank_tol) const {
+  if (sigma.empty()) return 0;
+  const double smax = *std::max_element(sigma.begin(), sigma.end());
+  std::size_t r = 0;
+  for (double s : sigma)
+    if (s > rank_tol * smax && s > 0.0) ++r;
+  return r;
+}
+
+double off_diagonal_measure(const Matrix& a) {
+  double off = 0.0;
+  double diag = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const double d = dot(a.col(i), a.col(j));
+      off += 2.0 * d * d;
+    }
+    const double djj = dot(a.col(j), a.col(j));
+    diag += djj * djj;
+  }
+  // Relative measure: off(G) / ||G||_F with G = A^T A.
+  const double norm_g = std::sqrt(diag + off);
+  return norm_g == 0.0 ? 0.0 : std::sqrt(off) / norm_g;
+}
+
+SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
+                           const JacobiOptions& options) {
+  TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
+                  "one_sided_jacobi expects m >= n >= 2");
+  int padded_n = 0;
+  Matrix h = pad_columns(a, ordering, &padded_n);
+  Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(padded_n)) : Matrix();
+  Matrix* vp = options.compute_v ? &v : nullptr;
+
+  std::vector<int> layout(static_cast<std::size_t>(padded_n));
+  for (int i = 0; i < padded_n; ++i) layout[static_cast<std::size_t>(i)] = i;
+
+  SvdResult r;
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    const Sweep s = ordering.sweep_from(layout, sweep);
+    std::size_t sweep_rot = 0;
+    std::size_t sweep_swap = 0;
+    for (int t = 0; t < s.steps(); ++t) {
+      for (const IndexPair& p : s.pairs(t)) {
+        const int i = std::min(p.even, p.odd);
+        const int j = std::max(p.even, p.odd);
+        const PairOutcome o = process_pair(h, vp, i, j, options);
+        sweep_rot += o.rotated ? 1 : 0;
+        sweep_swap += o.swapped ? 1 : 0;
+      }
+    }
+    const auto fin = s.final_layout();
+    layout.assign(fin.begin(), fin.end());
+    r.rotations += sweep_rot;
+    r.swaps += sweep_swap;
+    r.sweeps = sweep + 1;
+    if (options.track_off) r.off_history.push_back(off_diagonal_measure(h));
+    if (sweep_rot == 0 && sweep_swap == 0) {
+      r.converged = true;
+      break;
+    }
+  }
+  return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
+}
+
+SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
+                                    const JacobiOptions& options, unsigned threads) {
+  TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
+                  "one_sided_jacobi_threaded expects m >= n >= 2");
+  int padded_n = 0;
+  Matrix h = pad_columns(a, ordering, &padded_n);
+  Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(padded_n)) : Matrix();
+  Matrix* vp = options.compute_v ? &v : nullptr;
+
+  std::vector<int> layout(static_cast<std::size_t>(padded_n));
+  for (int i = 0; i < padded_n; ++i) layout[static_cast<std::size_t>(i)] = i;
+
+  ThreadPool pool(threads);
+  SvdResult r;
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    const Sweep s = ordering.sweep_from(layout, sweep);
+    std::atomic<std::size_t> sweep_rot{0};
+    std::atomic<std::size_t> sweep_swap{0};
+    for (int t = 0; t < s.steps(); ++t) {
+      const std::vector<IndexPair> pairs = s.pairs(t);
+      pool.parallel_for(pairs.size(), [&](std::size_t k) {
+        const IndexPair& p = pairs[k];
+        const int i = std::min(p.even, p.odd);
+        const int j = std::max(p.even, p.odd);
+        const PairOutcome o = process_pair(h, vp, i, j, options);
+        if (o.rotated) sweep_rot.fetch_add(1, std::memory_order_relaxed);
+        if (o.swapped) sweep_swap.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    const auto fin = s.final_layout();
+    layout.assign(fin.begin(), fin.end());
+    r.rotations += sweep_rot.load();
+    r.swaps += sweep_swap.load();
+    r.sweeps = sweep + 1;
+    if (options.track_off) r.off_history.push_back(off_diagonal_measure(h));
+    if (sweep_rot.load() == 0 && sweep_swap.load() == 0) {
+      r.converged = true;
+      break;
+    }
+  }
+  return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
+}
+
+SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
+  TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
+                  "cyclic_jacobi expects m >= n >= 2");
+  const int n = static_cast<int>(a.cols());
+  Matrix h = a;
+  Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(n)) : Matrix();
+  Matrix* vp = options.compute_v ? &v : nullptr;
+
+  SvdResult r;
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    std::size_t sweep_rot = 0;
+    std::size_t sweep_swap = 0;
+    for (int i = 0; i < n - 1; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const PairOutcome o = process_pair(h, vp, i, j, options);
+        sweep_rot += o.rotated ? 1 : 0;
+        sweep_swap += o.swapped ? 1 : 0;
+      }
+    }
+    r.rotations += sweep_rot;
+    r.swaps += sweep_swap;
+    r.sweeps = sweep + 1;
+    if (options.track_off) r.off_history.push_back(off_diagonal_measure(h));
+    if (sweep_rot == 0 && sweep_swap == 0) {
+      r.converged = true;
+      break;
+    }
+  }
+  return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
+}
+
+}  // namespace treesvd

@@ -1,0 +1,59 @@
+#pragma once
+// Internal shared kernel: rotate (and optionally sort-swap) one column pair.
+// Used by the serial, thread-parallel, and distributed Jacobi drivers.
+
+#include <span>
+
+#include "linalg/blas1.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/rotation.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd::detail {
+
+struct PairOutcome {
+  bool rotated = false;
+  bool swapped = false;
+};
+
+/// Core kernel on raw column views. `x` must be the column of the smaller
+/// index, `y` of the larger (the sort rule keeps the larger norm at the
+/// smaller index). vx/vy are the matching V columns, or empty spans.
+inline PairOutcome process_pair_columns(std::span<double> x, std::span<double> y,
+                                        std::span<double> vx, std::span<double> vy,
+                                        const JacobiOptions& opt) {
+  const GramPair g = gram_pair(x, y);
+  const JacobiRotation rot = compute_rotation(g, opt.tol);
+  const bool want_swap = opt.sort == SortMode::kDescending && g.app < g.aqq;
+
+  PairOutcome out;
+  if (rot.identity && !want_swap) return out;
+
+  const double c = rot.identity ? 1.0 : rot.c;
+  const double s = rot.identity ? 0.0 : rot.s;
+  if (want_swap) {
+    // Paper eq. (3): fused rotate-and-swap — the interchange costs nothing.
+    apply_rotation_swapped(x, y, c, s);
+    if (!vx.empty()) apply_rotation_swapped(vx, vy, c, s);
+    out.swapped = true;
+    out.rotated = !rot.identity;
+  } else {
+    apply_rotation(x, y, c, s);
+    if (!vx.empty()) apply_rotation(vx, vy, c, s);
+    out.rotated = true;
+  }
+  return out;
+}
+
+/// Matrix-column convenience wrapper: rotates columns (i, j), i < j, of A
+/// (and V when non-null). Thread-safe across disjoint pairs.
+inline PairOutcome process_pair(Matrix& a, Matrix* v, int i, int j,
+                                const JacobiOptions& opt) {
+  const std::span<double> none;
+  return process_pair_columns(
+      a.col(static_cast<std::size_t>(i)), a.col(static_cast<std::size_t>(j)),
+      v != nullptr ? v->col(static_cast<std::size_t>(i)) : none,
+      v != nullptr ? v->col(static_cast<std::size_t>(j)) : none, opt);
+}
+
+}  // namespace treesvd::detail

@@ -1,0 +1,31 @@
+#include "svd/preconditioned.hpp"
+
+#include <algorithm>
+
+#include "linalg/qr.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+
+SvdResult qr_preconditioned_jacobi(const Matrix& a, const Ordering& ordering,
+                                   const JacobiOptions& options) {
+  TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
+                  "qr_preconditioned_jacobi expects m >= n >= 2");
+  const HouseholderQr qr(a);
+  const Matrix r_factor = qr.r();
+
+  SvdResult r = one_sided_jacobi(r_factor, ordering, options);
+
+  // U = Q * [U_R; 0]: embed U_R into an m x n block and apply Q.
+  Matrix u_full(a.rows(), a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    const auto src = r.u.col(j);
+    const auto dst = u_full.col(j);
+    std::copy(src.begin(), src.end(), dst.begin());  // top n rows
+  }
+  qr.apply_q(u_full);
+  r.u = std::move(u_full);
+  return r;
+}
+
+}  // namespace treesvd

@@ -1,0 +1,18 @@
+#pragma once
+// QR-preconditioned Jacobi SVD: for tall matrices (m >> n) factor A = Q R
+// first and run the parallel Jacobi engine on the small square R — the
+// standard way to make column-rotation cost independent of m.
+
+#include "core/ordering.hpp"
+#include "linalg/matrix.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+
+/// SVD of an m x n matrix (m >= n) via Householder QR + one-sided Jacobi on
+/// R. Result semantics match one_sided_jacobi (U is m x n, rebuilt as Q*U_R).
+/// `sweeps` counts Jacobi sweeps on R.
+SvdResult qr_preconditioned_jacobi(const Matrix& a, const Ordering& ordering,
+                                   const JacobiOptions& options = {});
+
+}  // namespace treesvd

@@ -1,0 +1,215 @@
+#include "svd/spmd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "linalg/blas1.hpp"
+#include "mp/message_passing.hpp"
+#include "svd/pair_kernel.hpp"
+#include "util/require.hpp"
+
+namespace treesvd {
+namespace {
+
+/// Unique message tag per (sweep, step, destination slot): ranks never need
+/// a step barrier — matching tags order the dataflow.
+std::uint64_t make_tag(int sweep, int step, int to_slot) {
+  return (static_cast<std::uint64_t>(sweep) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(step)) << 20) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(to_slot));
+}
+
+struct SlotState {
+  int label = -1;               ///< which logical column occupies the slot
+  std::vector<double> h;        ///< column of A/H
+  std::vector<double> v;        ///< column of V (empty when not tracked)
+};
+
+}  // namespace
+
+SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOptions& options,
+                      SpmdStats* stats) {
+  TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2, "spmd_jacobi expects m >= n >= 2");
+  const int n0 = static_cast<int>(a.cols());
+  int n = 0;
+  for (int w = n0; w <= 2 * n0 + 4; ++w) {
+    if (ordering.supports(w)) {
+      n = w;
+      break;
+    }
+  }
+  TREESVD_REQUIRE(n > 0, ordering.name() + " supports no width near n");
+  const std::size_t rows = a.rows();
+  const int ranks = n / 2;
+
+  // Shared result surfaces; each slot is written by exactly one rank after
+  // the last sweep, so no synchronisation is needed beyond the thread join.
+  std::vector<SlotState> final_slots(static_cast<std::size_t>(n));
+  int final_sweeps = 0;
+  std::size_t total_rotations = 0;
+  std::size_t total_swaps = 0;
+  bool converged = false;
+  std::mutex totals_mu;
+
+  mp::World world(ranks);
+  world.run([&](mp::Context& ctx) {
+    const int me = ctx.rank();
+    // Local state: this rank's two slots.
+    SlotState slot[2];
+    for (int k = 0; k < 2; ++k) {
+      const int s = 2 * me + k;
+      slot[k].label = s;
+      slot[k].h.assign(rows, 0.0);
+      if (s < n0) {
+        const auto src = a.col(static_cast<std::size_t>(s));
+        std::copy(src.begin(), src.end(), slot[k].h.begin());
+      }
+      if (options.compute_v) {
+        slot[k].v.assign(static_cast<std::size_t>(n), 0.0);
+        slot[k].v[static_cast<std::size_t>(s)] = 1.0;
+      }
+    }
+
+    // Every rank derives the identical schedule (SPMD-style replicated
+    // control); the layout evolves deterministically between sweeps.
+    std::vector<int> layout(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) layout[static_cast<std::size_t>(i)] = i;
+
+    int sweep = 0;
+    bool done = false;
+    std::size_t my_rot = 0;
+    std::size_t my_swap = 0;
+    for (; sweep < options.max_sweeps && !done; ++sweep) {
+      const Sweep s = ordering.sweep_from(layout, sweep);
+      // Intra-leaf reconciliation: the sweep's opening layout may orient this
+      // leaf's pair the other way round; swapping locally is free.
+      {
+        const auto lay0 = s.layout(0);
+        if (lay0[static_cast<std::size_t>(2 * me)] != slot[0].label) {
+          TREESVD_ASSERT(lay0[static_cast<std::size_t>(2 * me)] == slot[1].label);
+          std::swap(slot[0], slot[1]);
+        }
+      }
+      std::size_t sweep_rot = 0;
+      std::size_t sweep_swap = 0;
+      for (int t = 0; t < s.steps(); ++t) {
+        // Compute: rotate the resident pair (if this leaf is active).
+        if (s.leaf_active(t, me)) {
+          const int lo = slot[0].label < slot[1].label ? 0 : 1;
+          const int hi = 1 - lo;
+          const std::span<double> none;
+          const auto o = detail::process_pair_columns(
+              slot[lo].h, slot[hi].h, options.compute_v ? std::span<double>(slot[lo].v) : none,
+              options.compute_v ? std::span<double>(slot[hi].v) : none, options);
+          sweep_rot += o.rotated ? 1 : 0;
+          sweep_swap += o.swapped ? 1 : 0;
+        }
+        // Communicate: emit this leaf's departures, then absorb arrivals.
+        const auto moves = s.moves(t);
+        for (const ColumnMove& mv : moves) {
+          const int from_leaf = mv.from_slot / 2;
+          if (from_leaf != me) continue;
+          const int k = mv.from_slot - 2 * me;
+          TREESVD_ASSERT(slot[k].label == mv.index);
+          const int to_leaf = mv.to_slot / 2;
+          if (to_leaf == me) continue;  // intra-leaf handled below
+          std::vector<double> payload;
+          payload.reserve(1 + rows + slot[k].v.size());
+          payload.push_back(static_cast<double>(mv.index));
+          payload.insert(payload.end(), slot[k].h.begin(), slot[k].h.end());
+          payload.insert(payload.end(), slot[k].v.begin(), slot[k].v.end());
+          ctx.send(to_leaf, make_tag(sweep, t, mv.to_slot), std::move(payload));
+        }
+        // Intra-leaf rearrangement and arrivals build the next layout state.
+        SlotState next[2];
+        const auto to = s.layout(t + 1);
+        for (int k = 0; k < 2; ++k) {
+          const int dst_slot = 2 * me + k;
+          const int want = to[static_cast<std::size_t>(dst_slot)];
+          if (slot[0].label == want) {
+            next[k] = std::move(slot[0]);
+            slot[0].label = -1;
+          } else if (slot[1].label == want) {
+            next[k] = std::move(slot[1]);
+            slot[1].label = -1;
+          } else {
+            // Arrives by message; sender is known from the schedule.
+            int src_leaf = -1;
+            for (const ColumnMove& mv : moves) {
+              if (mv.to_slot == dst_slot) {
+                src_leaf = mv.from_slot / 2;
+                break;
+              }
+            }
+            TREESVD_ASSERT(src_leaf >= 0 && src_leaf != me);
+            std::vector<double> payload = ctx.recv(src_leaf, make_tag(sweep, t, dst_slot));
+            TREESVD_ASSERT(payload.size() ==
+                           1 + rows + (options.compute_v ? static_cast<std::size_t>(n) : 0u));
+            next[k].label = static_cast<int>(payload[0]);
+            TREESVD_ASSERT(next[k].label == want);
+            next[k].h.assign(payload.begin() + 1,
+                             payload.begin() + 1 + static_cast<std::ptrdiff_t>(rows));
+            if (options.compute_v)
+              next[k].v.assign(payload.begin() + 1 + static_cast<std::ptrdiff_t>(rows),
+                               payload.end());
+          }
+        }
+        slot[0] = std::move(next[0]);
+        slot[1] = std::move(next[1]);
+      }
+      const auto fin = s.final_layout();
+      layout.assign(fin.begin(), fin.end());
+      // Convergence is a collective decision.
+      const double active = ctx.allreduce_sum(static_cast<double>(sweep_rot + sweep_swap));
+      my_rot += sweep_rot;
+      my_swap += sweep_swap;
+      if (active == 0.0) done = true;
+    }
+
+    // Publish: each rank owns its two slots of the final state.
+    for (int k = 0; k < 2; ++k) final_slots[static_cast<std::size_t>(2 * me + k)] = std::move(slot[k]);
+    {
+      std::lock_guard<std::mutex> lock(totals_mu);
+      total_rotations += my_rot;
+      total_swaps += my_swap;
+      final_sweeps = sweep;
+      converged = done;
+    }
+  });
+
+  if (stats != nullptr) stats->messages = world.delivered();
+
+  // Assemble the result by label, exactly like the other engines.
+  SvdResult r;
+  r.sweeps = final_sweeps;
+  r.converged = converged;
+  r.rotations = total_rotations;
+  r.swaps = total_swaps;
+
+  std::vector<const SlotState*> by_label(static_cast<std::size_t>(n), nullptr);
+  for (const SlotState& s : final_slots) by_label[static_cast<std::size_t>(s.label)] = &s;
+
+  r.sigma.resize(static_cast<std::size_t>(n0));
+  for (int i = 0; i < n0; ++i) r.sigma[static_cast<std::size_t>(i)] = nrm2(by_label[static_cast<std::size_t>(i)]->h);
+  const double smax = *std::max_element(r.sigma.begin(), r.sigma.end());
+  r.u = Matrix(rows, static_cast<std::size_t>(n0));
+  for (int i = 0; i < n0; ++i) {
+    const double sig = r.sigma[static_cast<std::size_t>(i)];
+    if (sig <= options.rank_tol * smax || sig == 0.0) continue;
+    const auto& src = by_label[static_cast<std::size_t>(i)]->h;
+    const auto dst = r.u.col(static_cast<std::size_t>(i));
+    for (std::size_t row = 0; row < rows; ++row) dst[row] = src[row] / sig;
+  }
+  if (options.compute_v) {
+    r.v = Matrix(static_cast<std::size_t>(n0), static_cast<std::size_t>(n0));
+    for (int i = 0; i < n0; ++i) {
+      const auto& src = by_label[static_cast<std::size_t>(i)]->v;
+      const auto dst = r.v.col(static_cast<std::size_t>(i));
+      std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n0), dst.begin());
+    }
+  }
+  return r;
+}
+
+}  // namespace treesvd

@@ -1,0 +1,26 @@
+#pragma once
+// SPMD one-sided Jacobi over the message-passing runtime — the shape of the
+// paper's actual CM-5 implementation: one process per leaf, two columns per
+// process, columns exchanged by tagged messages, convergence decided by an
+// allreduce per sweep. Unlike the step-synchronous distributed machine
+// (sim/distributed.hpp) there is no global clock: ranks synchronise only
+// through the column messages themselves (dataflow), plus one collective per
+// sweep.
+
+#include "core/ordering.hpp"
+#include "linalg/matrix.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+
+struct SpmdStats {
+  std::size_t messages = 0;  ///< column messages delivered
+};
+
+/// Runs the rank-per-leaf SPMD Jacobi program on n/2 concurrent threads
+/// (after padding n to a width the ordering supports). Results are
+/// bit-identical to one_sided_jacobi with the same options.
+SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering,
+                      const JacobiOptions& options = {}, SpmdStats* stats = nullptr);
+
+}  // namespace treesvd

@@ -1,0 +1,42 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace treesvd {
+
+Cli::Cli(int argc, const char* const* argv) {
+  TREESVD_REQUIRE(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    TREESVD_REQUIRE(arg.rfind("--", 0) == 0, "expected --key[=value], got: " + arg);
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "1";
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+long long Cli::get_int(const std::string& key, long long fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace treesvd

@@ -1,0 +1,39 @@
+#pragma once
+// Deterministic, seedable pseudo-random generation (xoshiro256++).
+//
+// The library never uses std::rand or global state; every randomized
+// component takes an Rng so experiments are reproducible bit-for-bit.
+
+#include <cstdint>
+
+namespace treesvd {
+
+/// xoshiro256++ 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies the subset of UniformRandomBitGenerator we need.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal() noexcept;
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace treesvd

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace treesvd {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TREESVD_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  TREESVD_REQUIRE(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto line = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << "| " << v << std::string(width[c] - v.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  line();
+  emit(header_);
+  line();
+  for (const auto& r : rows_) emit(r);
+  line();
+}
+
+std::string Table::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace treesvd

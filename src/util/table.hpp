@@ -1,0 +1,38 @@
+#pragma once
+// Minimal ASCII table formatter used by the benchmark harness to print
+// paper-style tables (rows of an experiment) to stdout.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace treesvd {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Numeric convenience overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value);
+
+  /// Renders the table. Column widths are computed from the content.
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace treesvd

@@ -1,0 +1,69 @@
+#include "util/thread_pool.hpp"
+
+namespace treesvd {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned t = 0; t + 1 < threads; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned /*id*/) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (next_ < count_) {
+      const std::size_t i = next_++;
+      lock.unlock();
+      (*task_)(i);
+      lock.lock();
+      --in_flight_;
+      if (in_flight_ == 0 && next_ >= count_) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    count_ = count;
+    next_ = 0;
+    in_flight_ = count;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  // The calling thread participates.
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (next_ >= count_) break;
+    const std::size_t i = next_++;
+    lock.unlock();
+    task(i);
+    lock.lock();
+    --in_flight_;
+    if (in_flight_ == 0 && next_ >= count_) cv_done_.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return in_flight_ == 0; });
+  task_ = nullptr;
+}
+
+}  // namespace treesvd

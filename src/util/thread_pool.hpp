@@ -1,0 +1,47 @@
+#pragma once
+// Minimal fork-join thread pool for step-parallel rotation execution.
+//
+// Jacobi steps are embarrassingly parallel (disjoint column pairs); the pool
+// runs an indexed task over [0, count) and joins. Workers persist across
+// calls.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treesvd {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs task(i) for i in [0, count), distributing across the pool and the
+  /// calling thread; returns when all complete. Tasks must not throw.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace treesvd

@@ -1,0 +1,25 @@
+#pragma once
+// Wall-clock timing helper for the examples and benchmark harness.
+
+#include <chrono>
+
+namespace treesvd {
+
+/// Monotonic stopwatch; started on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace treesvd

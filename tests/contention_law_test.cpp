@@ -1,0 +1,86 @@
+// Quantitative law behind Section 5's block-size rule, pinned as a test.
+//
+// On the CM-5-like profile (capacity 2^floor(l/2) relative to a leaf link), a
+// hybrid block shift moves bs = n/(2*groups) parallel streams across a
+// channel at level log2(bs)+1 (the lowest level an adjacent-group transfer
+// must cross when groups are power-of-two aligned). The worst contention of
+// a sweep is therefore a function of the block size alone:
+//
+//     contention(bs = 2^k) = 2^k / 2^floor((k+1)/2) = 2^ceil((k-1)/2)
+//
+// so blocks of 2 are contention-free (factor 1), and every doubling of the
+// block size costs a factor sqrt(2)-ish — exactly the "properly choose the
+// block size" dial. The test checks the closed form against the measured
+// model across sizes and group counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hybrid.hpp"
+#include "sim/machine.hpp"
+
+namespace treesvd {
+namespace {
+
+double predicted_cm5_contention(int bs) {
+  const int k = static_cast<int>(std::lround(std::log2(bs)));
+  return std::pow(2.0, (k - 1 + 1) / 2);  // 2^ceil((k-1)/2) via int division
+}
+
+TEST(ContentionLaw, HybridOnCm5DependsOnlyOnBlockSize) {
+  for (int n : {64, 128, 256}) {
+    const FatTreeTopology topo(n / 2, CapacityProfile::kCm5);
+    for (int groups = 2; groups * 4 <= n; groups *= 2) {
+      const HybridOrdering h(groups);
+      if (!h.supports(n)) continue;
+      const int bs = n / (2 * groups);
+      const auto run = model_run(h, topo, n, CostParams{}, 1);
+      EXPECT_DOUBLE_EQ(run.per_sweep_total.max_contention, predicted_cm5_contention(bs))
+          << "n=" << n << " groups=" << groups << " bs=" << bs;
+    }
+  }
+}
+
+TEST(ContentionLaw, SmallestBlocksAreContentionFree) {
+  for (int n : {32, 64, 128, 256}) {
+    const int groups = n / 4;  // bs = 2
+    const HybridOrdering h(groups);
+    ASSERT_TRUE(h.supports(n));
+    const FatTreeTopology topo(n / 2, CapacityProfile::kCm5);
+    const auto run = model_run(h, topo, n, CostParams{}, 1);
+    EXPECT_DOUBLE_EQ(run.per_sweep_total.max_contention, 1.0) << "n=" << n;
+  }
+}
+
+TEST(ContentionLaw, PerfectFatTreeNeverExceedsTwo) {
+  // On the perfect profile the relative capacity always matches the stream
+  // count of aligned block shifts; the residual factor 2 comes from fused
+  // transitions where a leaf emits both of its columns.
+  for (int n : {64, 256}) {
+    const FatTreeTopology topo(n / 2, CapacityProfile::kPerfect);
+    for (int groups = 2; groups * 4 <= n; groups *= 2) {
+      const HybridOrdering h(groups);
+      if (!h.supports(n)) continue;
+      const auto run = model_run(h, topo, n, CostParams{}, 1);
+      EXPECT_LE(run.per_sweep_total.max_contention, 2.0) << "n=" << n << " g=" << groups;
+    }
+  }
+}
+
+TEST(ContentionLaw, BinaryTreeContentionEqualsBlockSize) {
+  // Constant capacity: bs streams through any shared channel contend by bs.
+  for (int n : {64, 256}) {
+    const FatTreeTopology topo(n / 2, CapacityProfile::kConstant);
+    for (int groups = 2; groups * 4 <= n; groups *= 2) {
+      const HybridOrdering h(groups);
+      if (!h.supports(n)) continue;
+      const int bs = n / (2 * groups);
+      const auto run = model_run(h, topo, n, CostParams{}, 1);
+      EXPECT_DOUBLE_EQ(run.per_sweep_total.max_contention, static_cast<double>(bs))
+          << "n=" << n << " g=" << groups;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,161 @@
+// Two-sided Jacobi eigensolver tests: the orderings applied to the symmetric
+// eigenproblem (the companion problem of reference [2]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "eigen/jacobi_eigen.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace treesvd {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  const Matrix g = random_gaussian(n, n, rng);
+  Matrix s = g + g.transposed();
+  for (auto& v : s.data()) v *= 0.5;
+  return s;
+}
+
+double eigen_residual(const Matrix& a, const EigenResult& r) {
+  // ||A V - V diag(lambda)||_F / ||A||_F
+  const Matrix av = a * r.eigenvectors;
+  Matrix vl = r.eigenvectors;
+  for (std::size_t j = 0; j < vl.cols(); ++j)
+    for (std::size_t i = 0; i < vl.rows(); ++i) vl(i, j) *= r.eigenvalues[j];
+  return (av - vl).frobenius_norm() / std::max(a.frobenius_norm(), 1e-300);
+}
+
+using Param = std::tuple<std::string, int>;
+
+class EigenAcrossOrderings : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EigenAcrossOrderings, DecomposesRandomSymmetric) {
+  const auto& [name, n] = GetParam();
+  const auto ord = make_ordering(name);
+  Rng rng(555);
+  const Matrix a = random_symmetric(static_cast<std::size_t>(n), rng);
+  const EigenResult r = jacobi_symmetric_eigen(a, *ord);
+  ASSERT_TRUE(r.converged) << name;
+  EXPECT_LT(eigen_residual(a, r), 2e-13 * n);
+  EXPECT_LT(orthonormality_defect(r.eigenvectors), 2e-13 * n);
+  // Nonincreasing eigenvalues.
+  for (std::size_t k = 1; k < r.eigenvalues.size(); ++k)
+    EXPECT_GE(r.eigenvalues[k - 1], r.eigenvalues[k] - 1e-10);
+  // Against the tridiagonal-QL oracle.
+  auto oracle = symmetric_eigenvalues(a);  // ascending
+  std::reverse(oracle.begin(), oracle.end());
+  for (std::size_t k = 0; k < oracle.size(); ++k)
+    EXPECT_NEAR(r.eigenvalues[k], oracle[k], 1e-9 * std::max(1.0, std::fabs(oracle[0])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orderings, EigenAcrossOrderings,
+    ::testing::Combine(::testing::Values("round-robin", "odd-even", "fat-tree", "new-ring",
+                                         "hybrid-g4"),
+                       ::testing::Values(16, 31, 32)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Eigen, IndefiniteWithZeroDiagonal) {
+  // [[0,1],[1,0]] has eigenvalues +1, -1; the naive Gram-based rotation
+  // breaks here, the symmetric rotation must not.
+  const Matrix a = Matrix::from_rows({{0, 1}, {1, 0}});
+  const EigenResult r = jacobi_symmetric_eigen(a, *make_ordering("round-robin"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-14);
+  EXPECT_NEAR(r.eigenvalues[1], -1.0, 1e-14);
+}
+
+TEST(Eigen, DiagonalMatrixConvergesInOneSweep) {
+  Matrix d(8, 8);
+  for (int i = 0; i < 8; ++i)
+    d(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = 8.0 - i;
+  const EigenResult r = jacobi_symmetric_eigen(d, *make_ordering("fat-tree"));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.sweeps, 1);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(r.eigenvalues[static_cast<std::size_t>(i)], 8.0 - i);
+}
+
+TEST(Eigen, NegativeSpectrum) {
+  Rng rng(556);
+  Matrix g = random_gaussian(10, 10, rng);
+  Matrix spd = g.transposed() * g;
+  Matrix negdef = spd;
+  for (auto& v : negdef.data()) v = -v;
+  for (int i = 0; i < 10; ++i)
+    negdef(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) -= 0.5;
+  const EigenResult r = jacobi_symmetric_eigen(negdef, *make_ordering("new-ring"));
+  ASSERT_TRUE(r.converged);
+  for (double l : r.eigenvalues) EXPECT_LT(l, 0.0);
+  EXPECT_LT(eigen_residual(negdef, r), 1e-12);
+}
+
+TEST(Eigen, PaddingKeepsRealSpectrumClean) {
+  // n = 31 with fat-tree pads to 32; the pad eigenpair must not leak.
+  Rng rng(557);
+  const Matrix a = random_symmetric(31, rng);
+  const EigenResult r = jacobi_symmetric_eigen(a, *make_ordering("fat-tree"));
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.eigenvalues.size(), 31u);
+  auto oracle = symmetric_eigenvalues(a);
+  std::reverse(oracle.begin(), oracle.end());
+  for (std::size_t k = 0; k < 31; ++k) EXPECT_NEAR(r.eigenvalues[k], oracle[k], 1e-9);
+}
+
+TEST(Eigen, NoSortKeepsConvergence) {
+  Rng rng(558);
+  const Matrix a = random_symmetric(12, rng);
+  EigenOptions opt;
+  opt.sort_descending = false;
+  const EigenResult r = jacobi_symmetric_eigen(a, *make_ordering("round-robin"), opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.swaps, 0u);
+  auto sorted = r.eigenvalues;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  auto oracle = symmetric_eigenvalues(a);
+  std::reverse(oracle.begin(), oracle.end());
+  for (std::size_t k = 0; k < sorted.size(); ++k) EXPECT_NEAR(sorted[k], oracle[k], 1e-9);
+}
+
+TEST(Eigen, OffNormTracksAndDecays) {
+  Rng rng(559);
+  const Matrix a = random_symmetric(24, rng);
+  EigenOptions opt;
+  opt.track_off = true;
+  const EigenResult r = jacobi_symmetric_eigen(a, *make_ordering("fat-tree"), opt);
+  ASSERT_TRUE(r.converged);
+  ASSERT_GE(r.off_history.size(), 2u);
+  EXPECT_LT(r.off_history.back(), 1e-10);
+}
+
+TEST(Eigen, RejectsNonSymmetricAndNonSquare) {
+  EXPECT_THROW(jacobi_symmetric_eigen(Matrix(3, 4), *make_ordering("round-robin")),
+               std::invalid_argument);
+  Matrix bad = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_THROW(jacobi_symmetric_eigen(bad, *make_ordering("round-robin")),
+               std::invalid_argument);
+}
+
+TEST(Eigen, EigenvaluesMatchSvdForSpd) {
+  Rng rng(560);
+  Matrix g = random_gaussian(14, 14, rng);
+  Matrix spd = g.transposed() * g;
+  for (int i = 0; i < 14; ++i)
+    spd(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 1.0;
+  const EigenResult e = jacobi_symmetric_eigen(spd, *make_ordering("odd-even"));
+  ASSERT_TRUE(e.converged);
+  const auto sv = singular_values_oracle(spd);
+  for (std::size_t k = 0; k < sv.size(); ++k) EXPECT_NEAR(e.eigenvalues[k], sv[k], 1e-8);
+}
+
+}  // namespace
+}  // namespace treesvd

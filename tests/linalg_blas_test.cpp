@@ -1,0 +1,77 @@
+// Tests for the BLAS-1 kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/blas1.hpp"
+#include "util/rng.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(Blas1, Dot) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(dot(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(Blas1, Nrm2Simple) {
+  const std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(nrm2(std::vector<double>{0, 0, 0}), 0.0);
+}
+
+TEST(Blas1, Nrm2AvoidsOverflowAndUnderflow) {
+  const std::vector<double> big = {1e300, 1e300};
+  EXPECT_TRUE(std::isfinite(nrm2(big)));
+  EXPECT_NEAR(nrm2(big) / 1e300, std::sqrt(2.0), 1e-12);
+  const std::vector<double> tiny = {1e-300, 1e-300};
+  EXPECT_GT(nrm2(tiny), 0.0);
+  EXPECT_NEAR(nrm2(tiny) / 1e-300, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Blas1, Axpy) {
+  const std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Blas1, Scal) {
+  std::vector<double> x = {1, -2, 3};
+  scal(-2.0, x);
+  EXPECT_EQ(x, (std::vector<double>{-2, 4, -6}));
+}
+
+TEST(Blas1, Swap) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {3, 4};
+  swap(std::span<double>(x), std::span<double>(y));
+  EXPECT_EQ(x, (std::vector<double>{3, 4}));
+  EXPECT_EQ(y, (std::vector<double>{1, 2}));
+}
+
+TEST(Blas1, GramPairMatchesSeparateKernels) {
+  Rng rng(11);
+  std::vector<double> x(97);
+  std::vector<double> y(97);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  const GramPair g = gram_pair(x, y);
+  EXPECT_NEAR(g.app, dot(x, x), 1e-10);
+  EXPECT_NEAR(g.aqq, dot(y, y), 1e-10);
+  EXPECT_NEAR(g.apq, dot(x, y), 1e-10);
+}
+
+TEST(Blas1, GramPairZeroVectors) {
+  const std::vector<double> z(5, 0.0);
+  const GramPair g = gram_pair(z, z);
+  EXPECT_EQ(g.app, 0.0);
+  EXPECT_EQ(g.aqq, 0.0);
+  EXPECT_EQ(g.apq, 0.0);
+}
+
+}  // namespace
+}  // namespace treesvd

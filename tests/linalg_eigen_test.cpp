@@ -1,0 +1,96 @@
+// Tests for the independent eigenvalue/singular-value oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/generators.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "util/rng.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix d(4, 4);
+  d(0, 0) = 4;
+  d(1, 1) = -1;
+  d(2, 2) = 2;
+  d(3, 3) = 0.5;
+  const auto ev = symmetric_eigenvalues(d);
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_NEAR(ev[0], -1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 0.5, 1e-12);
+  EXPECT_NEAR(ev[2], 2.0, 1e-12);
+  EXPECT_NEAR(ev[3], 4.0, 1e-12);
+}
+
+TEST(SymmetricEigen, TwoByTwoClosedForm) {
+  const Matrix a = Matrix::from_rows({{2, 1}, {1, 2}});
+  const auto ev = symmetric_eigenvalues(a);
+  EXPECT_NEAR(ev[0], 1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, TraceAndDeterminantInvariants) {
+  Rng rng(31);
+  const Matrix g = random_gaussian(6, 6, rng);
+  const Matrix s = g + g.transposed();  // symmetric
+  const auto ev = symmetric_eigenvalues(s);
+  double trace = 0.0;
+  for (int i = 0; i < 6; ++i) trace += s(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+  const double evsum = std::accumulate(ev.begin(), ev.end(), 0.0);
+  EXPECT_NEAR(evsum, trace, 1e-9 * std::max(1.0, std::fabs(trace)));
+}
+
+TEST(SymmetricEigen, TridiagonalToeplitzKnownSpectrum) {
+  // Eigenvalues of the n x n tridiagonal (-1, 2, -1) matrix:
+  // 2 - 2 cos(k pi / (n+1)), k = 1..n.
+  const int n = 12;
+  Matrix t(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    t(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = 2.0;
+    if (i > 0) {
+      t(static_cast<std::size_t>(i), static_cast<std::size_t>(i - 1)) = -1.0;
+      t(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(i)) = -1.0;
+    }
+  }
+  const auto ev = symmetric_eigenvalues(t);
+  for (int k = 1; k <= n; ++k) {
+    const double expected = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
+    EXPECT_NEAR(ev[static_cast<std::size_t>(k - 1)], expected, 1e-10);
+  }
+}
+
+TEST(SymmetricEigen, RejectsNonSquare) {
+  EXPECT_THROW(tridiagonalize(Matrix(3, 4)), std::invalid_argument);
+}
+
+TEST(Oracle, RecoversPrescribedSingularValues) {
+  Rng rng(32);
+  const std::vector<double> sigma = {5.0, 3.0, 1.0, 0.5, 0.25};
+  const Matrix a = with_spectrum(12, 5, sigma, rng);
+  const auto sv = singular_values_oracle(a);
+  ASSERT_EQ(sv.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) EXPECT_NEAR(sv[k], sigma[k], 1e-8);
+}
+
+TEST(Oracle, DescendingOrderAndNonNegative) {
+  Rng rng(33);
+  const Matrix a = random_gaussian(20, 10, rng);
+  const auto sv = singular_values_oracle(a);
+  for (std::size_t k = 1; k < sv.size(); ++k) EXPECT_GE(sv[k - 1], sv[k]);
+  for (double s : sv) EXPECT_GE(s, 0.0);
+}
+
+TEST(Oracle, RankDeficientHasZeroTail) {
+  Rng rng(34);
+  const Matrix a = rank_deficient(16, 8, 3, rng);
+  const auto sv = singular_values_oracle(a);
+  for (std::size_t k = 3; k < 8; ++k) EXPECT_LT(sv[k], 1e-7);
+  EXPECT_GT(sv[2], 1e-3);
+}
+
+}  // namespace
+}  // namespace treesvd

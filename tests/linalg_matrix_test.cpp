@@ -1,0 +1,125 @@
+// Tests for the Matrix type and its helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/generators.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(Matrix, ZeroInitialised) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, FromRowsLaysOutCorrectly) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 1), 5.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, ColumnViewIsContiguous) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto c1 = m.col(1);
+  EXPECT_EQ(c1.size(), 2u);
+  EXPECT_EQ(c1[0], 2.0);
+  EXPECT_EQ(c1[1], 4.0);
+  c1[0] = 9.0;
+  EXPECT_EQ(m(0, 1), 9.0);
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.at(0, 2), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const Matrix i2 = Matrix::identity(2);
+  EXPECT_EQ(a * i2, a);
+  const Matrix b = Matrix::from_rows({{7, 8}, {9, 10}});
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 1 * 7 + 2 * 9);
+  EXPECT_EQ(c(2, 1), 5 * 8 + 6 * 10);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(3);
+  const Matrix a = random_gaussian(5, 3, rng);
+  const Matrix att = a.transposed().transposed();
+  EXPECT_EQ(a, att);
+  EXPECT_EQ(a.transposed()(2, 4), a(4, 2));
+}
+
+TEST(Matrix, AddSubtract) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  EXPECT_EQ((a + b)(1, 1), 12.0);
+  EXPECT_EQ((b - a)(0, 0), 4.0);
+  Matrix c(1, 2);
+  EXPECT_THROW(a + c, std::invalid_argument);
+  EXPECT_THROW(a - c, std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a = Matrix::from_rows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix(4, 4).frobenius_norm(), 0.0);
+}
+
+TEST(Matrix, FrobeniusNormExtremeScalesDoNotOverflow) {
+  Matrix a(2, 1);
+  a(0, 0) = 1e200;
+  a(1, 0) = 1e200;
+  EXPECT_TRUE(std::isfinite(a.frobenius_norm()));
+  EXPECT_NEAR(a.frobenius_norm() / 1e200, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix a = Matrix::from_rows({{-7, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(a.max_abs(), 7.0);
+}
+
+TEST(Matrix, OrthonormalityDefectOfIdentityIsZero) {
+  EXPECT_NEAR(orthonormality_defect(Matrix::identity(6)), 0.0, 1e-15);
+}
+
+TEST(Matrix, ReconstructionErrorExactFactorisation) {
+  // A = U diag(s) V^T with U = V = I.
+  const Matrix u = Matrix::identity(3);
+  const std::vector<double> s = {3.0, 2.0, 1.0};
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = s[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(reconstruction_error(a, u, s, u), 0.0, 1e-15);
+}
+
+TEST(Matrix, ReconstructionErrorDimensionCheck) {
+  const Matrix u = Matrix::identity(3);
+  const std::vector<double> s = {1.0, 2.0};
+  EXPECT_THROW(reconstruction_error(u, u, s, u), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,90 @@
+// Householder QR tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/generators.hpp"
+#include "linalg/qr.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(Qr, ReconstructsA) {
+  Rng rng(61);
+  const Matrix a = random_gaussian(20, 8, rng);
+  const HouseholderQr qr(a);
+  Matrix qrprod(20, 8);
+  const Matrix r = qr.r();
+  for (std::size_t j = 0; j < 8; ++j)
+    for (std::size_t i = 0; i <= j; ++i) qrprod(i, j) = r(i, j);
+  qr.apply_q(qrprod);
+  EXPECT_LT((a - qrprod).frobenius_norm() / a.frobenius_norm(), 1e-13);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  Rng rng(62);
+  const Matrix a = random_gaussian(12, 6, rng);
+  const Matrix r = HouseholderQr(a).r();
+  for (std::size_t j = 0; j < 6; ++j)
+    for (std::size_t i = j + 1; i < 6; ++i) EXPECT_EQ(r(i, j), 0.0);
+}
+
+TEST(Qr, ThinQHasOrthonormalColumns) {
+  Rng rng(63);
+  const Matrix a = random_gaussian(30, 10, rng);
+  const Matrix q = HouseholderQr(a).thin_q();
+  EXPECT_EQ(q.rows(), 30u);
+  EXPECT_EQ(q.cols(), 10u);
+  EXPECT_LT(orthonormality_defect(q), 1e-13);
+}
+
+TEST(Qr, QtQIsIdentityAction) {
+  Rng rng(64);
+  const Matrix a = random_gaussian(16, 5, rng);
+  const HouseholderQr qr(a);
+  Matrix b = random_gaussian(16, 3, rng);
+  const Matrix b0 = b;
+  qr.apply_q(b);
+  qr.apply_qt(b);
+  EXPECT_LT((b - b0).frobenius_norm() / b0.frobenius_norm(), 1e-13);
+}
+
+TEST(Qr, SquareMatrix) {
+  Rng rng(65);
+  const Matrix a = random_gaussian(7, 7, rng);
+  const HouseholderQr qr(a);
+  Matrix qrprod(7, 7);
+  const Matrix r = qr.r();
+  for (std::size_t j = 0; j < 7; ++j)
+    for (std::size_t i = 0; i <= j; ++i) qrprod(i, j) = r(i, j);
+  qr.apply_q(qrprod);
+  EXPECT_LT((a - qrprod).frobenius_norm() / a.frobenius_norm(), 1e-13);
+}
+
+TEST(Qr, HandlesZeroColumns) {
+  Matrix a(6, 3);
+  a(0, 0) = 2.0;  // second and third columns entirely zero
+  const HouseholderQr qr(a);
+  const Matrix r = qr.r();
+  EXPECT_NEAR(std::fabs(r(0, 0)), 2.0, 1e-15);
+  EXPECT_NEAR(r(1, 1), 0.0, 1e-15);
+}
+
+TEST(Qr, RejectsWideMatrices) {
+  EXPECT_THROW(HouseholderQr(Matrix(3, 5)), std::invalid_argument);
+}
+
+TEST(Qr, RankDeficientStillFactorises) {
+  Rng rng(66);
+  const Matrix a = rank_deficient(18, 9, 3, rng);
+  const HouseholderQr qr(a);
+  Matrix qrprod(18, 9);
+  const Matrix r = qr.r();
+  for (std::size_t j = 0; j < 9; ++j)
+    for (std::size_t i = 0; i <= j; ++i) qrprod(i, j) = r(i, j);
+  qr.apply_q(qrprod);
+  EXPECT_LT((a - qrprod).frobenius_norm() / a.frobenius_norm(), 1e-12);
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,168 @@
+// Message-passing runtime and the SPMD Jacobi program.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "mp/message_passing.hpp"
+#include "svd/spmd.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(MessagePassing, PingPong) {
+  mp::World world(2);
+  world.run([](mp::Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {1.0, 2.0, 3.0});
+      const auto back = ctx.recv(1, 8);
+      EXPECT_EQ(back, (std::vector<double>{6.0}));
+    } else {
+      const auto msg = ctx.recv(0, 7);
+      EXPECT_EQ(msg, (std::vector<double>{1.0, 2.0, 3.0}));
+      ctx.send(0, 8, {msg[0] + msg[1] + msg[2]});
+    }
+  });
+  EXPECT_EQ(world.delivered(), 2u);
+}
+
+TEST(MessagePassing, TaggedMessagesDoNotCross) {
+  mp::World world(2);
+  world.run([](mp::Context& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 100, {100.0});
+      ctx.send(1, 200, {200.0});
+      ctx.send(1, 100, {101.0});
+    } else {
+      // Receive out of send order by tag; FIFO within a tag.
+      EXPECT_EQ(ctx.recv(0, 200), (std::vector<double>{200.0}));
+      EXPECT_EQ(ctx.recv(0, 100), (std::vector<double>{100.0}));
+      EXPECT_EQ(ctx.recv(0, 100), (std::vector<double>{101.0}));
+    }
+  });
+}
+
+TEST(MessagePassing, RingPass) {
+  const int ranks = 8;
+  mp::World world(ranks);
+  world.run([ranks](mp::Context& ctx) {
+    // Pass a token around the ring twice, incrementing at each hop.
+    double value = 0.0;
+    for (int round = 0; round < 2 * ranks; ++round) {
+      const int holder = round % ranks;
+      if (ctx.rank() == holder) {
+        ctx.send((holder + 1) % ranks, static_cast<std::uint64_t>(round), {value + 1.0});
+      }
+      if (ctx.rank() == (holder + 1) % ranks) {
+        value = ctx.recv(holder, static_cast<std::uint64_t>(round))[0];
+      }
+    }
+    if (ctx.rank() == 0) EXPECT_DOUBLE_EQ(value, 2.0 * ranks);
+  });
+}
+
+TEST(MessagePassing, BarrierSynchronises) {
+  const int ranks = 6;
+  mp::World world(ranks);
+  std::atomic<int> before{0};
+  std::atomic<bool> violation{false};
+  world.run([&](mp::Context& ctx) {
+    before.fetch_add(1);
+    ctx.barrier();
+    if (before.load() != ranks) violation.store(true);
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(MessagePassing, AllreduceSum) {
+  const int ranks = 5;
+  mp::World world(ranks);
+  world.run([](mp::Context& ctx) {
+    for (int round = 1; round <= 3; ++round) {
+      const double sum = ctx.allreduce_sum(static_cast<double>(ctx.rank() * round));
+      EXPECT_DOUBLE_EQ(sum, round * (0 + 1 + 2 + 3 + 4));
+    }
+  });
+}
+
+TEST(MessagePassing, ExceptionsPropagate) {
+  mp::World world(3);
+  EXPECT_THROW(world.run([](mp::Context& ctx) {
+                 if (ctx.rank() == 1) throw std::runtime_error("rank 1 died");
+                 // Other ranks return without collectives so nothing hangs.
+               }),
+               std::runtime_error);
+}
+
+using Param = std::tuple<std::string, int>;
+
+class SpmdAcrossOrderings : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SpmdAcrossOrderings, BitwiseMatchesSerialEngine) {
+  const auto& [name, n] = GetParam();
+  const auto ord = make_ordering(name);
+  if (!ord->supports(n)) GTEST_SKIP();
+  Rng rng(321);
+  const Matrix a = random_gaussian(static_cast<std::size_t>(n + 8), static_cast<std::size_t>(n),
+                                   rng);
+  SpmdStats stats;
+  const SvdResult spmd = spmd_jacobi(a, *ord, {}, &stats);
+  const SvdResult serial = one_sided_jacobi(a, *ord);
+  ASSERT_TRUE(spmd.converged);
+  EXPECT_EQ(spmd.sweeps, serial.sweeps);
+  EXPECT_EQ(spmd.rotations, serial.rotations);
+  EXPECT_EQ(spmd.swaps, serial.swaps);
+  for (std::size_t k = 0; k < serial.sigma.size(); ++k)
+    EXPECT_EQ(spmd.sigma[k], serial.sigma[k]);
+  EXPECT_EQ(spmd.u, serial.u);
+  EXPECT_EQ(spmd.v, serial.v);
+  EXPECT_GT(stats.messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orderings, SpmdAcrossOrderings,
+    ::testing::Combine(::testing::Values("round-robin", "odd-even", "fat-tree", "new-ring",
+                                         "hybrid-g2"),
+                       ::testing::Values(8, 16)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Spmd, MessageCountMatchesSchedule) {
+  // Every inter-leaf move of every executed sweep is exactly one message.
+  Rng rng(322);
+  const int n = 8;
+  const Matrix a = random_gaussian(12, static_cast<std::size_t>(n), rng);
+  const auto ord = make_ordering("new-ring");
+  SpmdStats stats;
+  const SvdResult r = spmd_jacobi(a, *ord, {}, &stats);
+  ASSERT_TRUE(r.converged);
+  std::vector<int> layout(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) layout[static_cast<std::size_t>(i)] = i;
+  std::size_t expected = 0;
+  for (int k = 0; k < r.sweeps; ++k) {
+    const Sweep s = ord->sweep_from(layout, k);
+    for (int t = 0; t < s.steps(); ++t)
+      for (const ColumnMove& mv : s.moves(t))
+        if (mv.from_slot / 2 != mv.to_slot / 2) ++expected;
+    const auto fin = s.final_layout();
+    layout.assign(fin.begin(), fin.end());
+  }
+  EXPECT_EQ(stats.messages, expected);
+}
+
+TEST(Spmd, PaddedWidthStillWorks) {
+  Rng rng(323);
+  const Matrix a = random_gaussian(14, 6, rng);  // fat-tree pads 6 -> 8
+  const SvdResult r = spmd_jacobi(a, *make_ordering("fat-tree"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-12);
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,145 @@
+// Fat-tree topology and traffic model tests.
+#include <gtest/gtest.h>
+
+#include "network/topology.hpp"
+#include "network/traffic.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(Topology, LevelsFromLeafCount) {
+  EXPECT_EQ(FatTreeTopology(1, CapacityProfile::kPerfect).levels(), 0);
+  EXPECT_EQ(FatTreeTopology(2, CapacityProfile::kPerfect).levels(), 1);
+  EXPECT_EQ(FatTreeTopology(16, CapacityProfile::kPerfect).levels(), 4);
+  EXPECT_EQ(FatTreeTopology(64, CapacityProfile::kPerfect).levels(), 6);
+}
+
+TEST(Topology, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FatTreeTopology(12, CapacityProfile::kPerfect), std::invalid_argument);
+  EXPECT_THROW(FatTreeTopology(0, CapacityProfile::kPerfect), std::invalid_argument);
+  EXPECT_THROW(FatTreeTopology(8, CapacityProfile::kPerfect, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, PerfectCapacityDoublesPerLevel) {
+  const FatTreeTopology t(16, CapacityProfile::kPerfect, 2.0);
+  EXPECT_DOUBLE_EQ(t.capacity(1), 2.0);
+  EXPECT_DOUBLE_EQ(t.capacity(2), 4.0);
+  EXPECT_DOUBLE_EQ(t.capacity(3), 8.0);
+  EXPECT_DOUBLE_EQ(t.capacity(4), 16.0);
+}
+
+TEST(Topology, ConstantCapacityIsFlat) {
+  const FatTreeTopology t(16, CapacityProfile::kConstant, 3.0);
+  for (int l = 1; l <= 4; ++l) EXPECT_DOUBLE_EQ(t.capacity(l), 3.0);
+}
+
+TEST(Topology, Cm5CapacityDoublesEverySecondLevel) {
+  // Full at the two bottom levels, skinny above (Section 2).
+  const FatTreeTopology t(64, CapacityProfile::kCm5, 1.0);
+  EXPECT_DOUBLE_EQ(t.capacity(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.capacity(2), 2.0);
+  EXPECT_DOUBLE_EQ(t.capacity(3), 2.0);
+  EXPECT_DOUBLE_EQ(t.capacity(4), 4.0);
+  EXPECT_DOUBLE_EQ(t.capacity(5), 4.0);
+  EXPECT_DOUBLE_EQ(t.capacity(6), 8.0);
+  // Strictly skinnier than perfect above level 2.
+  const FatTreeTopology p(64, CapacityProfile::kPerfect, 1.0);
+  for (int l = 3; l <= 6; ++l) EXPECT_LT(t.capacity(l), p.capacity(l));
+}
+
+TEST(Topology, RouteLevelIsLcaHeight) {
+  const FatTreeTopology t(8, CapacityProfile::kPerfect);
+  EXPECT_EQ(t.route_level(3, 3), 0);
+  EXPECT_EQ(t.route_level(0, 1), 1);
+  EXPECT_EQ(t.route_level(0, 2), 2);
+  EXPECT_EQ(t.route_level(0, 3), 2);
+  EXPECT_EQ(t.route_level(0, 4), 3);
+  EXPECT_EQ(t.route_level(3, 4), 3);
+  EXPECT_THROW(t.route_level(0, 8), std::invalid_argument);
+}
+
+TEST(Topology, EdgeCountsHalvePerLevel) {
+  const FatTreeTopology t(16, CapacityProfile::kPerfect);
+  EXPECT_EQ(t.edges_at_level(1), 16);
+  EXPECT_EQ(t.edges_at_level(2), 8);
+  EXPECT_EQ(t.edges_at_level(4), 2);
+}
+
+TEST(Topology, EdgeIndexGroupsLeaves) {
+  const FatTreeTopology t(8, CapacityProfile::kPerfect);
+  EXPECT_EQ(t.edge_index(5, 1), 5);
+  EXPECT_EQ(t.edge_index(5, 2), 2);
+  EXPECT_EQ(t.edge_index(5, 3), 1);
+}
+
+TEST(Traffic, SameLeafMessagesAreFree) {
+  const FatTreeTopology t(8, CapacityProfile::kPerfect);
+  TrafficStep step(t);
+  step.add({3, 3, 100.0});
+  const StepTraffic st = step.finish(1.0);
+  EXPECT_EQ(st.messages, 0u);
+  EXPECT_DOUBLE_EQ(st.time, 0.0);
+  EXPECT_DOUBLE_EQ(st.total_words, 0.0);
+}
+
+TEST(Traffic, SingleMessageTimeIsSerializationPlusLatency) {
+  const FatTreeTopology t(8, CapacityProfile::kConstant, 2.0);
+  TrafficStep step(t);
+  step.add({0, 7, 10.0});  // crosses the root: level 3
+  const StepTraffic st = step.finish(1.5);
+  EXPECT_EQ(st.max_level, 3);
+  EXPECT_DOUBLE_EQ(st.time, 10.0 / 2.0 + 1.5 * 3);
+  EXPECT_EQ(st.messages, 1u);
+  EXPECT_DOUBLE_EQ(st.max_channel_load, 10.0);
+}
+
+TEST(Traffic, ContentionCountsStreamsPerChannel) {
+  const FatTreeTopology t(8, CapacityProfile::kConstant, 1.0);
+  TrafficStep step(t);
+  // Two messages leaving leaf 0: both share leaf 0's level-1 up channel.
+  step.add({0, 1, 5.0});
+  step.add({0, 2, 5.0});
+  const StepTraffic st = step.finish(0.0);
+  EXPECT_DOUBLE_EQ(st.max_contention, 2.0);
+  EXPECT_DOUBLE_EQ(st.max_channel_load, 10.0);
+  EXPECT_DOUBLE_EQ(st.time, 10.0);
+}
+
+TEST(Traffic, FatChannelsAbsorbParallelStreams) {
+  const FatTreeTopology t(8, CapacityProfile::kPerfect, 1.0);
+  TrafficStep step(t);
+  // Two messages from different leaves of the left half to the right half:
+  // they share the root edge (capacity 4), so no contention.
+  step.add({0, 4, 8.0});
+  step.add({2, 6, 8.0});
+  const StepTraffic st = step.finish(0.0);
+  EXPECT_LE(st.max_contention, 1.0);
+  // Root channel above leaf 0/2 carries... each message goes up its own
+  // level-1/2 edges; at level 3 both use the single left up edge: 16 words
+  // at capacity 4 -> 4 time units; level 1: 8 words at capacity 1 -> 8.
+  EXPECT_DOUBLE_EQ(st.time, 8.0);
+}
+
+TEST(Traffic, LevelPeakLoad) {
+  const FatTreeTopology t(4, CapacityProfile::kPerfect);
+  TrafficStep step(t);
+  step.add({0, 3, 7.0});
+  EXPECT_DOUBLE_EQ(step.level_peak_load(1), 7.0);
+  EXPECT_DOUBLE_EQ(step.level_peak_load(2), 7.0);
+  EXPECT_THROW(step.level_peak_load(3), std::invalid_argument);
+}
+
+TEST(Traffic, RejectsNegativeWords) {
+  const FatTreeTopology t(4, CapacityProfile::kPerfect);
+  TrafficStep step(t);
+  EXPECT_THROW(step.add({0, 1, -1.0}), std::invalid_argument);
+}
+
+TEST(Topology, ProfileNames) {
+  EXPECT_EQ(to_string(CapacityProfile::kPerfect), "perfect-fat-tree");
+  EXPECT_EQ(to_string(CapacityProfile::kConstant), "binary-tree");
+  EXPECT_EQ(to_string(CapacityProfile::kCm5), "cm5-skinny");
+}
+
+}  // namespace
+}  // namespace treesvd

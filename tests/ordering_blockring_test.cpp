@@ -1,0 +1,107 @@
+// Block ring ordering (Section 5's Schreiber-partitioning building block).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/block_ring.hpp"
+#include "core/registry.hpp"
+#include "core/validate.hpp"
+#include "linalg/generators.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(BlockRing, SupportsContract) {
+  const BlockRingOrdering b4(4);
+  EXPECT_TRUE(b4.supports(16));
+  EXPECT_TRUE(b4.supports(24));  // group size 6: not a power of two — fine
+  EXPECT_TRUE(b4.supports(40));
+  EXPECT_FALSE(b4.supports(12));  // group size 3: odd
+  EXPECT_FALSE(b4.supports(8));   // group size 2: too small
+  EXPECT_THROW(BlockRingOrdering(3), std::invalid_argument);
+}
+
+TEST(BlockRing, ValidSweepsAcrossSizes) {
+  for (int groups : {2, 4, 6}) {
+    const BlockRingOrdering ord(groups);
+    for (int n : {8, 12, 16, 24, 36, 48, 64}) {
+      if (!ord.supports(n)) continue;
+      const auto v = validate_sweep_sequence(ord, n, 3);
+      EXPECT_TRUE(v.valid) << "g=" << groups << " n=" << n << ": " << v.error;
+    }
+  }
+}
+
+TEST(BlockRing, TakesNSteps) {
+  EXPECT_EQ(BlockRingOrdering(2).sweep(16).steps(), 16);
+  EXPECT_EQ(BlockRingOrdering(4).sweep(24).steps(), 24);
+}
+
+TEST(BlockRing, RestoresAfterTwoSweeps) {
+  for (const auto& [groups, n] :
+       std::vector<std::pair<int, int>>{{2, 8}, {2, 24}, {4, 16}, {4, 48}, {6, 36}}) {
+    const BlockRingOrdering ord(groups);
+    std::vector<int> layout(static_cast<std::size_t>(n));
+    std::iota(layout.begin(), layout.end(), 0);
+    for (int k = 0; k < 2; ++k) {
+      const Sweep s = ord.sweep_from(layout, k);
+      const auto fin = s.final_layout();
+      layout.assign(fin.begin(), fin.end());
+    }
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(layout[static_cast<std::size_t>(i)], i) << "g=" << groups << " n=" << n;
+  }
+}
+
+TEST(BlockRing, InterGroupMovesAreOneDirectionalBlockShifts) {
+  const int groups = 4;
+  const int n = 24;
+  const int gsz = n / groups;
+  const Sweep s = BlockRingOrdering(groups).sweep(n);
+  for (int t = 0; t < s.steps(); ++t) {
+    int left_per_group[4] = {0, 0, 0, 0};
+    for (const ColumnMove& mv : s.moves(t)) {
+      const int gf = mv.from_slot / gsz;
+      const int gt = mv.to_slot / gsz;
+      if (gf == gt) continue;
+      EXPECT_EQ(gt, (gf + groups - 1) % groups) << "step " << t;
+      ++left_per_group[gf];
+    }
+    for (int g = 0; g < groups; ++g)
+      EXPECT_LE(left_per_group[g], gsz / 2) << "step " << t;
+  }
+}
+
+TEST(BlockRing, IntraGroupPhaseCoversAllIntraGroupPairs) {
+  const int groups = 2;
+  const int n = 12;
+  const int gsz = n / groups;
+  const Sweep s = BlockRingOrdering(groups).sweep(n);
+  std::set<std::pair<int, int>> got;
+  for (int t = 0; t < gsz; ++t)
+    for (const auto& p : s.pairs(t))
+      got.insert({std::min(p.even, p.odd), std::max(p.even, p.odd)});
+  for (int g = 0; g < groups; ++g)
+    for (int a = g * gsz; a < (g + 1) * gsz; ++a)
+      for (int b = a + 1; b < (g + 1) * gsz; ++b)
+        EXPECT_TRUE(got.count({a, b})) << a << "," << b;
+}
+
+TEST(BlockRing, SvdConvergesAtNonPowerOfTwoSizes) {
+  Rng rng(616);
+  const Matrix a = random_gaussian(48, 24, rng);  // 24 = 4 groups of 6
+  const SvdResult r = one_sided_jacobi(a, BlockRingOrdering(4));
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-12);
+}
+
+TEST(BlockRing, RegistryRoundTrip) {
+  const auto ord = make_ordering("block-ring-g6");
+  EXPECT_EQ(ord->name(), "block-ring-g6");
+  EXPECT_TRUE(ord->supports(36));
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,205 @@
+// Fat-tree ordering (Section 3): two-block ordering, four-block module and
+// the merge procedure, with the exact properties the paper proves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/fat_tree.hpp"
+#include "core/validate.hpp"
+
+namespace treesvd {
+namespace {
+
+using PairKey = std::pair<int, int>;
+
+std::set<PairKey> cross_pairs(const BlockRows& br) {
+  std::set<PairKey> got;
+  for (const auto& row : br.rows) {
+    for (std::size_t k = 0; 2 * k + 1 < row.size(); ++k) {
+      got.insert({std::min(row[2 * k], row[2 * k + 1]), std::max(row[2 * k], row[2 * k + 1])});
+    }
+  }
+  return got;
+}
+
+TEST(TwoBlock, BasicModulePairsAndRotation) {
+  // Fig. 2: blocks {1,2} and {3,4}; two steps, the second block rotates.
+  const std::vector<int> x = {1, 2};
+  const std::vector<int> y = {3, 4};
+  const BlockRows br = two_block_rows(x, y);
+  ASSERT_EQ(br.rows.size(), 2u);
+  EXPECT_EQ(br.rows[0], (std::vector<int>{1, 3, 2, 4}));
+  EXPECT_EQ(br.rows[1], (std::vector<int>{1, 4, 2, 3}));
+  EXPECT_EQ(br.final_layout, (std::vector<int>{1, 4, 2, 3}));  // y halves swapped
+}
+
+TEST(TwoBlock, AllCrossPairsExactlyOnce) {
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<int> x(k);
+    std::vector<int> y(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      x[i] = static_cast<int>(i);
+      y[i] = static_cast<int>(k + i);
+    }
+    const BlockRows br = two_block_rows(x, y);
+    EXPECT_EQ(br.rows.size(), k) << "a size-k two-block ordering takes k steps";
+    const auto got = cross_pairs(br);
+    EXPECT_EQ(got.size(), k * k);
+    for (int a : x)
+      for (int b : y) EXPECT_TRUE(got.count({a, b})) << a << "," << b;
+  }
+}
+
+TEST(TwoBlock, XStaysAtEvenPositions) {
+  std::vector<int> x = {0, 1, 2, 3};
+  std::vector<int> y = {4, 5, 6, 7};
+  const BlockRows br = two_block_rows(x, y);
+  for (const auto& row : br.rows)
+    for (std::size_t i = 0; i < row.size(); i += 2) EXPECT_LT(row[i], 4);
+}
+
+TEST(TwoBlock, DoubleApplicationRestoresYOrder) {
+  // One sweep exchanges the y halves; a second restores them (paper 3.1.2).
+  std::vector<int> x = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> y = {8, 9, 10, 11, 12, 13, 14, 15};
+  const BlockRows once = two_block_rows(x, y);
+  std::vector<int> y_after;
+  for (std::size_t i = 1; i < once.final_layout.size(); i += 2)
+    y_after.push_back(once.final_layout[i]);
+  EXPECT_NE(y_after, y);
+  // halves swapped, each half internally in order
+  EXPECT_EQ(y_after, (std::vector<int>{12, 13, 14, 15, 8, 9, 10, 11}));
+  const BlockRows twice = two_block_rows(x, y_after);
+  std::vector<int> y_final;
+  for (std::size_t i = 1; i < twice.final_layout.size(); i += 2)
+    y_final.push_back(twice.final_layout[i]);
+  EXPECT_EQ(y_final, y);
+}
+
+TEST(TwoBlock, RejectsBadSizes) {
+  EXPECT_THROW(two_block_rows(std::vector<int>{1, 2}, std::vector<int>{3}),
+               std::invalid_argument);
+  EXPECT_THROW(two_block_rows(std::vector<int>{1, 2, 3}, std::vector<int>{4, 5, 6}),
+               std::invalid_argument);
+}
+
+TEST(FourBlockModule, OrderPreservingVariant) {
+  // Fig. 4(a): (1,2)(3,4) / (1,3)(2,4) / (1,4)(2,3); order maintained and the
+  // left index of every pair is the smaller one.
+  const std::vector<int> ids = {1, 2, 3, 4};
+  const BlockRows br = four_block_module(ids, FourBlockVariant::kOrderPreserving);
+  ASSERT_EQ(br.rows.size(), 3u);
+  EXPECT_EQ(br.rows[0], (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(br.rows[1], (std::vector<int>{1, 3, 2, 4}));
+  EXPECT_EQ(br.rows[2], (std::vector<int>{1, 4, 2, 3}));
+  EXPECT_EQ(br.final_layout, ids);
+  for (const auto& row : br.rows) {
+    EXPECT_LT(row[0], row[1]);
+    EXPECT_LT(row[2], row[3]);
+  }
+}
+
+TEST(FourBlockModule, SwappingVariantReversesLastTwo) {
+  // Fig. 4(b): 3 and 4 end reversed; two sweeps restore them.
+  const std::vector<int> ids = {1, 2, 3, 4};
+  const BlockRows br = four_block_module(ids, FourBlockVariant::kSwapping);
+  EXPECT_EQ(br.final_layout, (std::vector<int>{1, 2, 4, 3}));
+  const BlockRows again = four_block_module(br.final_layout, FourBlockVariant::kSwapping);
+  EXPECT_EQ(again.final_layout, ids);
+}
+
+TEST(FourBlockModule, BothVariantsCoverAllSixPairs) {
+  for (auto v : {FourBlockVariant::kOrderPreserving, FourBlockVariant::kSwapping}) {
+    const BlockRows br = four_block_module(std::vector<int>{1, 2, 3, 4}, v);
+    EXPECT_EQ(cross_pairs(br).size(), 6u);
+  }
+}
+
+TEST(FatTree, ExactSequenceForN8) {
+  // The merge-procedure sweep for n = 8 (Fig. 6 reconstruction): stage 1 runs
+  // the four-block module in both groups; stage 2 merges them.
+  const Sweep s = FatTreeOrdering().sweep(8);
+  ASSERT_EQ(s.steps(), 7);
+  const std::vector<std::vector<int>> expected = {
+      {0, 1, 2, 3, 4, 5, 6, 7},  // (1,2)(3,4) | (5,6)(7,8)
+      {0, 2, 1, 3, 4, 6, 5, 7},  // (1,3)(2,4) | (5,7)(6,8)
+      {0, 3, 1, 2, 4, 7, 5, 6},  // (1,4)(2,3) | (5,8)(6,7)
+      {0, 4, 2, 6, 1, 5, 3, 7},  // (1,5)(3,7) | (2,6)(4,8)
+      {0, 6, 2, 4, 1, 7, 3, 5},  // (1,7)(3,5) | (2,8)(4,6)
+      {0, 7, 2, 5, 1, 6, 3, 4},  // (1,8)(3,6) | (2,7)(4,5)
+      {0, 5, 2, 7, 1, 4, 3, 6},  // (1,6)(3,8) | (2,5)(4,7)
+  };
+  for (int t = 0; t < 7; ++t) {
+    const auto lay = s.layout(t);
+    EXPECT_EQ(std::vector<int>(lay.begin(), lay.end()), expected[static_cast<std::size_t>(t)])
+        << "step " << t + 1;
+  }
+}
+
+TEST(FatTree, RestoresIdentityAfterOneSweepForAllSizes) {
+  for (int n : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    const Sweep s = FatTreeOrdering().sweep(n);
+    const auto fin = s.final_layout();
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(fin[static_cast<std::size_t>(i)], i) << "n=" << n << " slot " << i;
+  }
+}
+
+TEST(FatTree, PowerOfTwoOnly) {
+  const FatTreeOrdering ft;
+  EXPECT_TRUE(ft.supports(4));
+  EXPECT_TRUE(ft.supports(64));
+  EXPECT_FALSE(ft.supports(6));
+  EXPECT_FALSE(ft.supports(12));
+  EXPECT_FALSE(ft.supports(2));
+}
+
+TEST(FatTree, RootLevelTransitionsAreConstantPerStage) {
+  // The top tree level is only exercised by the final merge stage: entering
+  // super-step 2, entering super-step 3, and the restore — 3 transitions,
+  // independent of n. This is the paper's "global communications minimised".
+  for (int n : {8, 16, 32, 64, 128}) {
+    const Sweep s = FatTreeOrdering().sweep(n);
+    int top = 0;
+    for (int lv = n / 2; lv > 1; lv /= 2) ++top;
+    int top_transitions = 0;
+    for (int t = 0; t < s.steps(); ++t) {
+      int deepest = 0;
+      for (const ColumnMove& mv : s.moves(t))
+        deepest = std::max(deepest, comm_level(mv.from_slot, mv.to_slot));
+      if (deepest == top) ++top_transitions;
+    }
+    EXPECT_EQ(top_transitions, 3) << "n=" << n;
+  }
+}
+
+TEST(FatTree, LocalTransitionsDominate) {
+  // Most transitions touch only level 1 (sibling leaves) — locality is the
+  // point of the ordering.
+  const Sweep s = FatTreeOrdering().sweep(128);
+  int level1_only = 0;
+  for (int t = 0; t < s.steps(); ++t) {
+    int deepest = 0;
+    for (const ColumnMove& mv : s.moves(t))
+      deepest = std::max(deepest, comm_level(mv.from_slot, mv.to_slot));
+    if (deepest <= 1) ++level1_only;
+  }
+  EXPECT_GE(level1_only, s.steps() / 2);
+}
+
+TEST(FatTree, FigSixLevelPattern) {
+  // n=8 transition levels: 1,1,2,1,2,1 then the level-2 restore.
+  const Sweep s = FatTreeOrdering().sweep(8);
+  std::vector<int> levels;
+  for (int t = 0; t < s.steps(); ++t) {
+    int deepest = 0;
+    for (const ColumnMove& mv : s.moves(t))
+      deepest = std::max(deepest, comm_level(mv.from_slot, mv.to_slot));
+    levels.push_back(deepest);
+  }
+  EXPECT_EQ(levels, (std::vector<int>{1, 1, 2, 1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,149 @@
+// Hybrid ordering (Section 5): ring between groups, fat-tree inside groups,
+// contention-free on skinny fat-trees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/hybrid.hpp"
+#include "core/registry.hpp"
+#include "core/validate.hpp"
+#include "network/topology.hpp"
+#include "sim/machine.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(Hybrid, SupportsContract) {
+  const HybridOrdering h4(4);
+  EXPECT_TRUE(h4.supports(16));
+  EXPECT_TRUE(h4.supports(32));
+  EXPECT_FALSE(h4.supports(12));  // group size 3 not a power of two
+  EXPECT_FALSE(h4.supports(8));   // group size 2 too small
+  EXPECT_FALSE(h4.supports(20));  // group size 5
+  EXPECT_THROW(HybridOrdering(3), std::invalid_argument);
+  EXPECT_THROW(HybridOrdering(0), std::invalid_argument);
+}
+
+TEST(Hybrid, StepsAreNMinusOne) {
+  EXPECT_EQ(HybridOrdering(4).sweep(16).steps(), 15);
+  EXPECT_EQ(HybridOrdering(2).sweep(32).steps(), 31);
+  EXPECT_EQ(HybridOrdering(8).sweep(64).steps(), 63);
+}
+
+TEST(Hybrid, OriginalOrderAfterTwoSweeps) {
+  for (const auto& [groups, n] : std::vector<std::pair<int, int>>{
+           {2, 8}, {2, 16}, {4, 16}, {4, 32}, {8, 32}, {4, 64}, {8, 128}}) {
+    const HybridOrdering h(groups);
+    std::vector<int> layout(static_cast<std::size_t>(n));
+    std::iota(layout.begin(), layout.end(), 0);
+    for (int k = 0; k < 2; ++k) {
+      const Sweep s = h.sweep_from(layout, k);
+      const auto fin = s.final_layout();
+      layout.assign(fin.begin(), fin.end());
+    }
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(layout[static_cast<std::size_t>(i)], i) << "g=" << groups << " n=" << n;
+  }
+}
+
+TEST(Hybrid, InterGroupTransfersMoveWholeBlocksOneGroupOver) {
+  // At every "global" transition, at most one block's worth of columns leaves
+  // each group, and all inter-group movement goes one ring direction.
+  const int groups = 4;
+  const int n = 32;
+  const int gsz = n / groups;
+  const int bs = gsz / 2;
+  const Sweep s = HybridOrdering(groups).sweep(n);
+  const int slots_per_group = gsz;
+  for (int t = 0; t < s.steps(); ++t) {
+    std::vector<int> out_of_group(static_cast<std::size_t>(groups), 0);
+    for (const ColumnMove& mv : s.moves(t)) {
+      const int gf = mv.from_slot / slots_per_group;
+      const int gt = mv.to_slot / slots_per_group;
+      if (gf == gt) continue;
+      EXPECT_EQ(gt, (gf + groups - 1) % groups)
+          << "inter-group movement must be one hop in the ring direction (step " << t << ")";
+      ++out_of_group[static_cast<std::size_t>(gf)];
+    }
+    for (int g = 0; g < groups; ++g)
+      EXPECT_LE(out_of_group[static_cast<std::size_t>(g)], bs)
+          << "more than one block left group " << g << " at step " << t;
+  }
+}
+
+TEST(Hybrid, IntraGroupPhaseHasNoInterGroupTraffic) {
+  // The first gsz-2 transitions belong to the intra-group fat-tree sweep.
+  const int groups = 4;
+  const int n = 32;
+  const int gsz = n / groups;
+  const Sweep s = HybridOrdering(groups).sweep(n);
+  for (int t = 0; t + 1 < gsz - 1; ++t) {
+    for (const ColumnMove& mv : s.moves(t)) {
+      EXPECT_EQ(mv.from_slot / gsz, mv.to_slot / gsz)
+          << "transition " << t << " should be intra-group";
+    }
+  }
+}
+
+TEST(Hybrid, FirstSuperStepCoversAllIntraGroupPairs) {
+  const int groups = 2;
+  const int n = 16;
+  const int gsz = n / groups;
+  const Sweep s = HybridOrdering(groups).sweep(n);
+  std::set<std::pair<int, int>> got;
+  for (int t = 0; t < gsz - 1; ++t)
+    for (const auto& p : s.pairs(t))
+      got.insert({std::min(p.even, p.odd), std::max(p.even, p.odd)});
+  for (int g = 0; g < groups; ++g)
+    for (int a = g * gsz; a < (g + 1) * gsz; ++a)
+      for (int b = a + 1; b < (g + 1) * gsz; ++b)
+        EXPECT_TRUE(got.count({a, b})) << "intra-group pair (" << a << "," << b << ") missing";
+}
+
+TEST(Hybrid, ContentionFreeOnCm5WithSmallBlocks) {
+  // The paper's claim: choose the block size so the skinny levels never carry
+  // more streams than their capacity. With groups = n/4 (the smallest blocks)
+  // the hybrid ordering runs contention-free on the CM-5 model.
+  const int n = 64;
+  const FatTreeTopology topo(n / 2, CapacityProfile::kCm5);
+  const auto run = model_run(HybridOrdering(16), topo, n, CostParams{}, 2);
+  EXPECT_LE(run.per_sweep_total.max_contention, 1.0 + 1e-9);
+}
+
+TEST(Hybrid, LessContentionThanFatTreeOnSkinnyTrees) {
+  const int n = 64;
+  for (auto prof : {CapacityProfile::kConstant, CapacityProfile::kCm5}) {
+    const FatTreeTopology topo(n / 2, prof);
+    const auto hybrid = model_run(HybridOrdering(16), topo, n, CostParams{}, 1);
+    const auto fat = model_run(*make_ordering("fat-tree"), topo, n, CostParams{}, 1);
+    EXPECT_LT(hybrid.per_sweep_total.max_contention, fat.per_sweep_total.max_contention)
+        << to_string(prof);
+  }
+}
+
+TEST(Hybrid, FewerGlobalTransitionsThanPureRing) {
+  // "It is expected that the hybrid ordering will be the most efficient one
+  // on the CM5 since it ... reduces the number of global communications
+  // required by the ring orderings."
+  const int n = 64;
+  const Sweep hybrid = HybridOrdering(8).sweep(n);
+  const Sweep ring = make_ordering("new-ring")->sweep(n);
+  auto top_transitions = [](const Sweep& s) {
+    int top = 0;
+    for (int lv = s.leaves(); lv > 1; lv /= 2) ++top;
+    int count = 0;
+    for (int t = 0; t < s.steps(); ++t) {
+      int deepest = 0;
+      for (const ColumnMove& mv : s.moves(t))
+        deepest = std::max(deepest, comm_level(mv.from_slot, mv.to_slot));
+      if (deepest == top) ++count;
+    }
+    return count;
+  };
+  EXPECT_LT(top_transitions(hybrid), top_transitions(ring));
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,111 @@
+// Lee-Luk-Boley-style fat-tree ordering: the comparator with permuting
+// forward sweeps and restoring backward sweeps (Section 3 discussion of [8]).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/fat_tree.hpp"
+#include "core/validate.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(Llb, ForwardSweepPermutesIndices) {
+  const Sweep s = LlbFatTreeOrdering().sweep(16, /*sweep_index=*/0);
+  const auto fin = s.final_layout();
+  bool identity = true;
+  for (int i = 0; i < 16; ++i) identity = identity && fin[static_cast<std::size_t>(i)] == i;
+  EXPECT_FALSE(identity) << "the LLB forward sweep must leave the indices permuted";
+}
+
+TEST(Llb, ForwardPlusBackwardRestores) {
+  const LlbFatTreeOrdering llb;
+  for (int n : {8, 16, 32, 64}) {
+    std::vector<int> layout(static_cast<std::size_t>(n));
+    std::iota(layout.begin(), layout.end(), 0);
+    for (int k = 0; k < 2; ++k) {
+      const Sweep s = llb.sweep_from(layout, k);
+      const auto fin = s.final_layout();
+      layout.assign(fin.begin(), fin.end());
+    }
+    for (int i = 0; i < n; ++i) EXPECT_EQ(layout[static_cast<std::size_t>(i)], i) << "n=" << n;
+  }
+}
+
+TEST(Llb, BackwardFirstStepRepeatsForwardLastPairs) {
+  // "The first rotation in each backward sweep does nothing, and may be
+  // omitted, because it operates on the same pair as the last rotation in the
+  // preceding forward sweep."
+  const LlbFatTreeOrdering llb;
+  const int n = 16;
+  const Sweep fwd = llb.sweep(n, 0);
+  const auto fin = fwd.final_layout();
+  const Sweep bwd = llb.sweep_from(fin, 1);
+
+  auto keyset = [](const std::vector<IndexPair>& ps) {
+    std::set<std::pair<int, int>> out;
+    for (const auto& p : ps) out.insert({std::min(p.even, p.odd), std::max(p.even, p.odd)});
+    return out;
+  };
+  EXPECT_EQ(keyset(fwd.pairs(fwd.steps() - 1)), keyset(bwd.pairs(0)));
+}
+
+TEST(Llb, BackwardRetracesForwardPairsInReverse) {
+  const LlbFatTreeOrdering llb;
+  const int n = 8;
+  const Sweep fwd = llb.sweep(n, 0);
+  const Sweep bwd = llb.sweep_from(fwd.final_layout(), 1);
+  auto keyset = [](const std::vector<IndexPair>& ps) {
+    std::set<std::pair<int, int>> out;
+    for (const auto& p : ps) out.insert({std::min(p.even, p.odd), std::max(p.even, p.odd)});
+    return out;
+  };
+  // Backward step t >= 1 repeats forward step S-1-t.
+  for (int t = 1; t < bwd.steps(); ++t)
+    EXPECT_EQ(keyset(bwd.pairs(t)), keyset(fwd.pairs(fwd.steps() - 1 - t))) << "t=" << t;
+}
+
+TEST(Llb, VariableSpacingBetweenPairRepetitions) {
+  // The paper's convergence concern: under forward/backward alternation the
+  // gap between successive rotations of the same pair varies (unlike the
+  // restoring fat-tree ordering, where every pair recurs every n-1 steps).
+  const LlbFatTreeOrdering llb;
+  const int n = 8;
+  std::vector<int> layout(static_cast<std::size_t>(n));
+  std::iota(layout.begin(), layout.end(), 0);
+  std::map<std::pair<int, int>, std::vector<int>> when;
+  int clock = 0;
+  for (int k = 0; k < 2; ++k) {
+    const Sweep s = llb.sweep_from(layout, k);
+    for (int t = 0; t < s.steps(); ++t, ++clock) {
+      for (const auto& p : s.pairs(t))
+        when[{std::min(p.even, p.odd), std::max(p.even, p.odd)}].push_back(clock);
+    }
+    const auto fin = s.final_layout();
+    layout.assign(fin.begin(), fin.end());
+  }
+  std::set<int> gaps;
+  for (const auto& [pair, times] : when) {
+    ASSERT_EQ(times.size(), 2u);
+    gaps.insert(times[1] - times[0]);
+  }
+  EXPECT_GT(gaps.size(), 1u) << "gaps should vary across pairs";
+}
+
+TEST(Llb, SameCommunicationStructureAsFatTree) {
+  // The reconstruction shares the merge procedure, so the per-level move
+  // totals of a forward sweep match the restoring ordering except for the
+  // final restore transition.
+  const Sweep llb = LlbFatTreeOrdering().sweep(32, 0);
+  const Sweep ft = FatTreeOrdering().sweep(32);
+  const auto h1 = level_histogram(llb);
+  const auto h2 = level_histogram(ft);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t l = 0; l < h1.size(); ++l)
+    EXPECT_LE(h1[l], h2[l]) << "llb should never move more than the restoring variant";
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,168 @@
+// New ring ordering (Section 4): the paper's stated properties, verified.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/new_ring.hpp"
+#include "core/round_robin.hpp"
+#include "core/validate.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(NewRing, TakesNMinusOneSteps) {
+  EXPECT_EQ(NewRingOrdering().sweep(16).steps(), 15);
+  EXPECT_EQ(NewRingOrdering().sweep(64).steps(), 63);
+}
+
+TEST(NewRing, MessagesTravelInOneDirectionOnly) {
+  // "One important feature of the ordering is that the messages travel
+  // between processors in only one direction throughout the computation."
+  for (int n : {8, 16, 32, 64, 128, 256}) {
+    const Sweep s = NewRingOrdering().sweep(n);
+    EXPECT_TRUE(unidirectional_ring_moves(s)) << "n=" << n;
+  }
+}
+
+TEST(NewRing, IndexOneNeverMoves) {
+  const Sweep s = NewRingOrdering().sweep(32);
+  for (int t = 0; t <= s.steps(); ++t) {
+    const auto lay = s.layout(t);
+    const bool at_leaf0 = lay[0] == 0 || lay[1] == 0;
+    EXPECT_TRUE(at_leaf0) << "step " << t;
+  }
+}
+
+TEST(NewRing, AfterOneSweepOneTwoFixedRestReversed) {
+  // "After a sweep the positions of indices 1 and 2 are unchanged, while the
+  // order of the indices numbered from 3 to n is reversed."
+  for (int n : {8, 16, 64}) {
+    const Sweep s = NewRingOrdering().sweep(n);
+    const auto fin = s.final_layout();
+    EXPECT_EQ(fin[0], 0);
+    EXPECT_EQ(fin[1], 1);
+    for (int slot = 2; slot < n; ++slot)
+      EXPECT_EQ(fin[static_cast<std::size_t>(slot)], n + 1 - slot) << "n=" << n;
+  }
+}
+
+TEST(NewRing, OriginalOrderAfterTwoSweeps) {
+  const NewRingOrdering nr;
+  for (int n : {4, 8, 16, 32, 128}) {
+    std::vector<int> layout(static_cast<std::size_t>(n));
+    std::iota(layout.begin(), layout.end(), 0);
+    for (int k = 0; k < 2; ++k) {
+      const Sweep s = nr.sweep_from(layout, k);
+      const auto fin = s.final_layout();
+      layout.assign(fin.begin(), fin.end());
+    }
+    for (int i = 0; i < n; ++i) EXPECT_EQ(layout[static_cast<std::size_t>(i)], i) << "n=" << n;
+  }
+}
+
+TEST(NewRing, MoveCountProfileMatchesThePaper) {
+  // Index 1 never moves; index 2 moves once every two steps (n/2 moves per
+  // sweep); indices 2k+1, 2k+2 move exactly 2k times.
+  for (int n : {8, 16, 32, 64}) {
+    const Sweep s = NewRingOrdering().sweep(n);
+    const auto moves = moves_per_index(s);
+    EXPECT_EQ(moves[0], 0u) << "n=" << n;
+    EXPECT_EQ(moves[1], static_cast<std::size_t>(n / 2)) << "n=" << n;
+    for (int k = 1; 2 * k + 1 < n; ++k) {
+      EXPECT_EQ(moves[static_cast<std::size_t>(2 * k)], static_cast<std::size_t>(2 * k))
+          << "index " << 2 * k + 1 << " n=" << n;
+      EXPECT_EQ(moves[static_cast<std::size_t>(2 * k + 1)], static_cast<std::size_t>(2 * k))
+          << "index " << 2 * k + 2 << " n=" << n;
+    }
+  }
+}
+
+TEST(NewRing, AllMoveCountsEvenForEvenLeafCount) {
+  // Needed by the hybrid ordering: every index is shifted an even number of
+  // times when the ring has an even number of processors (n = 0 mod 4).
+  for (int n : {8, 16, 32, 64, 128}) {
+    const Sweep s = NewRingOrdering().sweep(n);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i)
+      EXPECT_EQ(moves_per_index(s)[i] % 2, 0u) << "n=" << n << " index " << i + 1;
+  }
+}
+
+TEST(NewRing, EachLeafForwardsExactlyOneColumnPerTransition) {
+  const int n = 32;
+  const Sweep s = NewRingOrdering().sweep(n);
+  for (int t = 0; t < s.steps(); ++t) {
+    std::vector<int> sends(static_cast<std::size_t>(n / 2), 0);
+    for (const ColumnMove& mv : s.moves(t)) {
+      if (mv.from_slot / 2 == mv.to_slot / 2) continue;
+      ++sends[static_cast<std::size_t>(mv.from_slot / 2)];
+    }
+    for (int leaf = 0; leaf < n / 2; ++leaf)
+      EXPECT_EQ(sends[static_cast<std::size_t>(leaf)], 1) << "step " << t << " leaf " << leaf;
+  }
+}
+
+TEST(NewRing, EquivalentToRoundRobinByRelabelling) {
+  // Definition 1 of the paper, plus the explicit fold construction.
+  for (int n : {8, 16, 32}) {
+    const Sweep nr = NewRingOrdering().sweep(n);
+    const Sweep rr = RoundRobinOrdering().sweep(n);
+    const auto lam = find_equivalence_relabelling(nr, rr);
+    ASSERT_TRUE(lam.has_value()) << "n=" << n;
+    // The relabelling must be a permutation.
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+    for (int v : *lam) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, n);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+}
+
+TEST(NewRing, OrientationLargerIndexOnTopExceptPairsWithOne) {
+  // "The number on the second row is smaller than the one on the first row of
+  // the same index pair, except for the pairs containing index 1."
+  const Sweep s = NewRingOrdering().sweep(16);
+  for (int t = 0; t < s.steps(); ++t) {
+    for (const IndexPair& p : s.pairs(t)) {
+      if (p.even == 0 || p.odd == 0) {
+        EXPECT_EQ(p.even, 0) << "pairs containing index 1 keep it on the first row";
+      } else {
+        EXPECT_GT(p.even, p.odd) << "step " << t;
+      }
+    }
+  }
+}
+
+TEST(ModifiedRing, SameScheduleOppositeOrientation) {
+  const Sweep s = ModifiedRingOrdering().sweep(16);
+  for (int t = 0; t < s.steps(); ++t)
+    for (const IndexPair& p : s.pairs(t)) EXPECT_LT(p.even, p.odd) << "step " << t;
+  EXPECT_TRUE(unidirectional_ring_moves(s));
+  EXPECT_TRUE(validate_sweep(s).valid);
+}
+
+TEST(ModifiedRing, SamePairSetsAsNewRing) {
+  const Sweep a = NewRingOrdering().sweep(16);
+  const Sweep b = ModifiedRingOrdering().sweep(16);
+  for (int t = 0; t < a.steps(); ++t) {
+    std::set<std::pair<int, int>> pa;
+    std::set<std::pair<int, int>> pb;
+    for (const auto& p : a.pairs(t)) pa.insert({std::min(p.even, p.odd), std::max(p.even, p.odd)});
+    for (const auto& p : b.pairs(t)) pb.insert({std::min(p.even, p.odd), std::max(p.even, p.odd)});
+    EXPECT_EQ(pa, pb) << "step " << t;
+  }
+}
+
+TEST(NewRing, SpecialCaseN4) {
+  const Sweep s = NewRingOrdering().sweep(4);
+  EXPECT_TRUE(validate_sweep(s).valid);
+  EXPECT_EQ(s.steps(), 3);
+  const auto fin = s.final_layout();
+  EXPECT_EQ(std::vector<int>(fin.begin(), fin.end()), (std::vector<int>{0, 1, 3, 2}));
+}
+
+}  // namespace
+}  // namespace treesvd

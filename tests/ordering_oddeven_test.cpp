@@ -1,0 +1,94 @@
+// Odd-even transposition ordering (the nearest-neighbour ring baseline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/odd_even.hpp"
+#include "core/validate.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(OddEven, TakesNSteps) {
+  const OddEvenOrdering oe;
+  EXPECT_EQ(oe.steps(16), 16);
+  EXPECT_EQ(oe.sweep(16).steps(), 16);
+}
+
+TEST(OddEven, ReversesTheLineAfterOneSweep) {
+  const Sweep s = OddEvenOrdering().sweep(12);
+  const auto fin = s.final_layout();
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(fin[static_cast<std::size_t>(i)], 11 - i);
+}
+
+TEST(OddEven, IdentityAfterTwoSweeps) {
+  const OddEvenOrdering oe;
+  std::vector<int> layout(24);
+  std::iota(layout.begin(), layout.end(), 0);
+  for (int k = 0; k < 2; ++k) {
+    const Sweep s = oe.sweep_from(layout, k);
+    const auto fin = s.final_layout();
+    layout.assign(fin.begin(), fin.end());
+  }
+  for (int i = 0; i < 24; ++i) EXPECT_EQ(layout[static_cast<std::size_t>(i)], i);
+}
+
+TEST(OddEven, EverySecondStepHasOneIdleLeaf) {
+  const Sweep s = OddEvenOrdering().sweep(16);
+  for (int t = 0; t < s.steps(); ++t) {
+    const std::size_t expect = (t % 2 == 0) ? 8u : 7u;
+    EXPECT_EQ(s.pairs(t).size(), expect) << "step " << t;
+  }
+}
+
+TEST(OddEven, IdleLeafIsTheWrapPair) {
+  const Sweep s = OddEvenOrdering().sweep(8);
+  for (int t = 0; t < s.steps(); ++t) {
+    if (t % 2 == 1) {
+      EXPECT_FALSE(s.leaf_active(t, s.leaves() - 1));
+      for (int k = 0; k + 1 < s.leaves(); ++k) EXPECT_TRUE(s.leaf_active(t, k));
+    }
+  }
+}
+
+TEST(OddEven, MovementIsACyclicShiftPlusLocalSwaps) {
+  // Between steps every column moves at most one slot around the ring of
+  // slots (the hallmark of nearest-neighbour communication).
+  const int n = 16;
+  const Sweep s = OddEvenOrdering().sweep(n);
+  for (int t = 0; t < s.steps(); ++t) {
+    for (const ColumnMove& mv : s.moves(t)) {
+      const int d = std::abs(mv.from_slot - mv.to_slot);
+      const int ring_d = std::min(d, n - d);
+      EXPECT_LE(ring_d, 2) << "step " << t << " index " << mv.index;
+    }
+  }
+}
+
+TEST(OddEven, FirstPhasePairsAreConsecutive) {
+  const Sweep s = OddEvenOrdering().sweep(10);
+  const auto pairs = s.pairs(0);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    EXPECT_EQ(pairs[k].even, static_cast<int>(2 * k));
+    EXPECT_EQ(pairs[k].odd, static_cast<int>(2 * k + 1));
+  }
+}
+
+TEST(OddEven, ComparedPairsInterchange) {
+  // After step 0, each compared pair has swapped line positions: step 1 must
+  // pair (old even-slot occupant of leaf k) with the neighbour's occupant.
+  const Sweep s = OddEvenOrdering().sweep(8);
+  const auto pairs1 = s.pairs(1);
+  // Line after phase 0 swap: 1 0 3 2 5 4 7 6 -> phase-1 pairs (0,3)(2,5)(4,7).
+  ASSERT_EQ(pairs1.size(), 3u);
+  EXPECT_EQ(std::min(pairs1[0].even, pairs1[0].odd), 0);
+  EXPECT_EQ(std::max(pairs1[0].even, pairs1[0].odd), 3);
+  EXPECT_EQ(std::min(pairs1[1].even, pairs1[1].odd), 2);
+  EXPECT_EQ(std::max(pairs1[1].even, pairs1[1].odd), 5);
+  EXPECT_EQ(std::min(pairs1[2].even, pairs1[2].odd), 4);
+  EXPECT_EQ(std::max(pairs1[2].even, pairs1[2].odd), 7);
+}
+
+}  // namespace
+}  // namespace treesvd

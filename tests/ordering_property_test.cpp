@@ -1,0 +1,140 @@
+// Property tests that every ordering must satisfy: each sweep is a valid
+// parallel Jacobi sweep (all n(n-1)/2 pairs exactly once, disjoint pairs per
+// step), across several consecutive sweeps, for a range of problem sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "core/validate.hpp"
+
+namespace treesvd {
+namespace {
+
+using Param = std::tuple<std::string, int>;
+
+class OrderingProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  OrderingPtr ordering() const { return make_ordering(std::get<0>(GetParam())); }
+  int n() const { return std::get<1>(GetParam()); }
+  bool supported() const { return ordering()->supports(n()); }
+};
+
+TEST_P(OrderingProperty, SingleSweepIsValid) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  const Sweep s = ordering()->sweep(n());
+  const SweepValidation v = validate_sweep(s);
+  EXPECT_TRUE(v.valid) << v.error;
+}
+
+TEST_P(OrderingProperty, FourConsecutiveSweepsAreValid) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  const SweepValidation v = validate_sweep_sequence(*ordering(), n(), 4);
+  EXPECT_TRUE(v.valid) << v.error;
+}
+
+TEST_P(OrderingProperty, StepCountMatchesContract) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  const Sweep s = ordering()->sweep(n());
+  EXPECT_EQ(s.steps(), ordering()->steps(n()));
+}
+
+TEST_P(OrderingProperty, RotationCountIsAllPairs) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  const Sweep s = ordering()->sweep(n());
+  EXPECT_EQ(s.rotation_count(),
+            static_cast<std::size_t>(n()) * static_cast<std::size_t>(n() - 1) / 2);
+}
+
+TEST_P(OrderingProperty, LayoutRestoredAfterTwoSweepsOrOne) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  // Every ordering in the paper restores the original index order after at
+  // most two sweeps (fat-tree after one; rings and odd-even after two;
+  // Lee-Luk-Boley after a forward+backward pair).
+  std::vector<int> layout(static_cast<std::size_t>(n()));
+  std::iota(layout.begin(), layout.end(), 0);
+  const auto ord = ordering();
+  for (int k = 0; k < 2; ++k) {
+    const Sweep s = ord->sweep_from(layout, k);
+    const auto fin = s.final_layout();
+    layout.assign(fin.begin(), fin.end());
+  }
+  std::vector<int> ident(static_cast<std::size_t>(n()));
+  std::iota(ident.begin(), ident.end(), 0);
+  EXPECT_EQ(layout, ident);
+}
+
+TEST_P(OrderingProperty, MovesAreConsistentWithLayouts) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  const Sweep s = ordering()->sweep(n());
+  for (int t = 0; t < s.steps(); ++t) {
+    const auto from = s.layout(t);
+    const auto to = s.layout(t + 1);
+    std::vector<int> applied(from.begin(), from.end());
+    for (const ColumnMove& mv : s.moves(t)) {
+      EXPECT_EQ(from[static_cast<std::size_t>(mv.from_slot)], mv.index);
+      applied[static_cast<std::size_t>(mv.to_slot)] = mv.index;
+    }
+    EXPECT_EQ(applied, std::vector<int>(to.begin(), to.end()));
+  }
+}
+
+TEST_P(OrderingProperty, SweepFromTransportsThePositionProcedure) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  // Starting from a shuffled layout must pair the occupants of the same
+  // positions the canonical sweep pairs.
+  std::vector<int> shuffled(static_cast<std::size_t>(n()));
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  std::rotate(shuffled.begin(), shuffled.begin() + 3, shuffled.end());
+  const auto ord = ordering();
+  const Sweep canonical = ord->sweep(n());
+  const Sweep moved = ord->sweep_from(shuffled);
+  for (int t = 0; t <= canonical.steps(); ++t) {
+    const auto lc = canonical.layout(t);
+    const auto lm = moved.layout(t);
+    for (int slot = 0; slot < n(); ++slot)
+      EXPECT_EQ(lm[static_cast<std::size_t>(slot)],
+                shuffled[static_cast<std::size_t>(lc[static_cast<std::size_t>(slot)])]);
+  }
+}
+
+TEST_P(OrderingProperty, UnsupportedSizesThrow) {
+  const auto ord = ordering();
+  if (ord->supports(n())) GTEST_SKIP() << "n supported";
+  EXPECT_THROW(ord->sweep(n()), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderings, OrderingProperty,
+    ::testing::Combine(::testing::Values("round-robin", "odd-even", "fat-tree", "llb-fat-tree",
+                                         "new-ring", "modified-ring", "hybrid-g2", "hybrid-g4",
+                                         "hybrid-g8", "block-ring-g2", "block-ring-g4"),
+                       ::testing::Values(4, 6, 8, 12, 16, 32, 64, 128, 256)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(OrderingRegistry, UnknownNameThrows) {
+  EXPECT_THROW(make_ordering("nope"), std::invalid_argument);
+  EXPECT_THROW(make_ordering("hybrid-gX"), std::invalid_argument);
+}
+
+TEST(OrderingRegistry, NamesRoundTrip) {
+  for (const auto& name : ordering_names({2, 4})) {
+    const auto ord = make_ordering(name);
+    EXPECT_EQ(ord->name(), name);
+  }
+}
+
+TEST(OrderingRegistry, HybridRejectsOddGroups) {
+  EXPECT_THROW(make_ordering("hybrid-g3"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesvd

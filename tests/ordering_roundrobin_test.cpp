@@ -1,0 +1,88 @@
+// Round-robin ordering (Fig. 1(b)): exact behaviour checks.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/round_robin.hpp"
+#include "core/validate.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(RoundRobin, FirstStepPairsConsecutiveIndices) {
+  const Sweep s = RoundRobinOrdering().sweep(8);
+  const auto pairs = s.pairs(0);
+  ASSERT_EQ(pairs.size(), 4u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(pairs[static_cast<std::size_t>(k)].even, 2 * k);
+    EXPECT_EQ(pairs[static_cast<std::size_t>(k)].odd, 2 * k + 1);
+  }
+}
+
+TEST(RoundRobin, IndexZeroNeverMoves) {
+  const Sweep s = RoundRobinOrdering().sweep(16);
+  for (int t = 0; t <= s.steps(); ++t) EXPECT_EQ(s.layout(t)[0], 0);
+}
+
+TEST(RoundRobin, EveryOtherIndexMovesEveryStep) {
+  // The tournament rotation moves all 2m-1 non-fixed indices each transition.
+  const Sweep s = RoundRobinOrdering().sweep(16);
+  for (int t = 0; t < s.steps(); ++t) EXPECT_EQ(s.moves(t).size(), 15u);
+}
+
+TEST(RoundRobin, RestoresLayoutAfterOneSweep) {
+  const Sweep s = RoundRobinOrdering().sweep(32);
+  const auto fin = s.final_layout();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fin[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RoundRobin, FixedIndexMeetsAllOthersInOrderOfSteps) {
+  const int n = 12;
+  const Sweep s = RoundRobinOrdering().sweep(n);
+  std::set<int> partners;
+  for (int t = 0; t < s.steps(); ++t) {
+    const auto pairs = s.pairs(t);
+    // index 0 always sits at slot 0/leaf 0
+    EXPECT_EQ(pairs[0].even, 0);
+    partners.insert(pairs[0].odd);
+  }
+  EXPECT_EQ(partners.size(), static_cast<std::size_t>(n - 1));
+}
+
+TEST(RoundRobin, KnownSequenceN4) {
+  // n=4: (1,2)(3,4) / (1,3)(2,4)-ish / (1,4)(2,3)-ish in some tournament
+  // order; all three distinct perfect matchings must appear.
+  const Sweep s = RoundRobinOrdering().sweep(4);
+  std::set<std::set<std::pair<int, int>>> matchings;
+  for (int t = 0; t < s.steps(); ++t) {
+    std::set<std::pair<int, int>> m;
+    for (const auto& p : s.pairs(t))
+      m.insert({std::min(p.even, p.odd), std::max(p.even, p.odd)});
+    matchings.insert(m);
+  }
+  EXPECT_EQ(matchings.size(), 3u);
+}
+
+TEST(RoundRobin, RejectsOddAndTinySizes) {
+  const RoundRobinOrdering rr;
+  EXPECT_FALSE(rr.supports(2));
+  EXPECT_FALSE(rr.supports(7));
+  EXPECT_TRUE(rr.supports(6));
+}
+
+TEST(RoundRobin, GlobalTrafficEveryTransition) {
+  // The paper's motivation for tree orderings: round-robin needs high-level
+  // communication on every transition (for n >= 8, some move crosses at
+  // least level 2).
+  const Sweep s = RoundRobinOrdering().sweep(16);
+  for (int t = 0; t < s.steps(); ++t) {
+    int deepest = 0;
+    for (const ColumnMove& mv : s.moves(t))
+      deepest = std::max(deepest, comm_level(mv.from_slot, mv.to_slot));
+    EXPECT_GE(deepest, 2) << "transition " << t;
+  }
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,128 @@
+// Machine model tests: cost decomposition and the paper's qualitative claims.
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+#include "core/registry.hpp"
+#include "sim/machine.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(Machine, ComputeTimeIsStepsTimesRotation) {
+  const auto ord = make_ordering("round-robin");
+  const Sweep s = ord->sweep(16);
+  const FatTreeTopology topo(8, CapacityProfile::kPerfect);
+  CostParams p;
+  p.words_per_column = 10.0;
+  p.flop_time = 0.1;
+  p.flops_per_rotation_per_row = 14.0;
+  const SweepCost c = analyze_sweep(s, topo, p);
+  EXPECT_DOUBLE_EQ(c.compute_time, s.steps() * 14.0 * 10.0 * 0.1);
+  EXPECT_GT(c.comm_time, 0.0);
+  EXPECT_DOUBLE_EQ(c.total_time, c.compute_time + c.comm_time);
+}
+
+TEST(Machine, LeafCountMismatchThrows) {
+  const auto ord = make_ordering("round-robin");
+  const Sweep s = ord->sweep(16);
+  const FatTreeTopology topo(16, CapacityProfile::kPerfect);
+  EXPECT_THROW(analyze_sweep(s, topo, CostParams{}), std::invalid_argument);
+  EXPECT_THROW(model_run(*ord, topo, 16, CostParams{}, 1), std::invalid_argument);
+}
+
+TEST(Machine, TransitionsUsingLevelSumsToSteps) {
+  const auto ord = make_ordering("fat-tree");
+  const FatTreeTopology topo(16, CapacityProfile::kPerfect);
+  const auto run = model_run(*ord, topo, 32, CostParams{}, 1);
+  std::size_t total = 0;
+  for (auto v : run.per_sweep_total.transitions_using_level) total += v;
+  EXPECT_EQ(total, static_cast<std::size_t>(ord->steps(32)));
+}
+
+TEST(Machine, WordsPerLevelAccountsAllMessages) {
+  const auto ord = make_ordering("new-ring");
+  const FatTreeTopology topo(16, CapacityProfile::kConstant);
+  CostParams p;
+  p.words_per_column = 3.0;
+  const auto run = model_run(*ord, topo, 32, p, 1);
+  double words = 0.0;
+  for (double w : run.per_sweep_total.words_per_level) words += w;
+  EXPECT_DOUBLE_EQ(words, run.per_sweep_total.comm_words);
+  EXPECT_DOUBLE_EQ(words, static_cast<double>(run.per_sweep_total.messages) * 3.0);
+}
+
+TEST(Machine, FatTreeOrderingLocalisesTraffic) {
+  // C1: on any topology, the fat-tree ordering sends a much larger share of
+  // its words through low levels than round-robin sends through high ones;
+  // concretely its root-level word count is lower and its count of
+  // root-touching transitions is 3 versus "all" for round-robin.
+  const int n = 64;
+  const FatTreeTopology topo(n / 2, CapacityProfile::kPerfect);
+  const auto ft = model_run(*make_ordering("fat-tree"), topo, n, CostParams{}, 1);
+  const auto rr = model_run(*make_ordering("round-robin"), topo, n, CostParams{}, 1);
+  const auto top = static_cast<std::size_t>(topo.levels());
+  EXPECT_EQ(ft.per_sweep_total.transitions_using_level[top], 3u);
+  EXPECT_EQ(rr.per_sweep_total.transitions_using_level[top],
+            static_cast<std::size_t>(n - 1));
+}
+
+TEST(Machine, RingOrderingsContentionFreeEverywhere) {
+  const int n = 64;
+  for (auto prof :
+       {CapacityProfile::kPerfect, CapacityProfile::kConstant, CapacityProfile::kCm5}) {
+    const FatTreeTopology topo(n / 2, prof);
+    for (const char* name : {"new-ring", "modified-ring", "odd-even"}) {
+      const auto run = model_run(*make_ordering(name), topo, n, CostParams{}, 1);
+      EXPECT_LE(run.per_sweep_total.max_contention, 1.0 + 1e-9)
+          << name << " on " << to_string(prof);
+    }
+  }
+}
+
+TEST(Machine, FatTreeOrderingContendsOnSkinnyTrees) {
+  // Section 5: "contention will occur if our fat-tree ordering is implemented
+  // on such an architecture".
+  const int n = 64;
+  const FatTreeTopology skinny(n / 2, CapacityProfile::kConstant);
+  const auto run = model_run(*make_ordering("fat-tree"), skinny, n, CostParams{}, 1);
+  EXPECT_GT(run.per_sweep_total.max_contention, 2.0);
+}
+
+TEST(Machine, FatTreeOrderingBestOnPerfectFatTree) {
+  // Section 6: "If communication-handling capability is increased, then our
+  // fat-tree ordering will become more attractive": on the perfect fat-tree
+  // it beats its own binary-tree time and beats round-robin.
+  const int n = 64;
+  const FatTreeTopology perfect(n / 2, CapacityProfile::kPerfect);
+  const FatTreeTopology skinny(n / 2, CapacityProfile::kConstant);
+  const auto ft_perfect = model_run(*make_ordering("fat-tree"), perfect, n, CostParams{}, 1);
+  const auto ft_skinny = model_run(*make_ordering("fat-tree"), skinny, n, CostParams{}, 1);
+  const auto rr_perfect = model_run(*make_ordering("round-robin"), perfect, n, CostParams{}, 1);
+  EXPECT_LT(ft_perfect.per_sweep_total.total_time, ft_skinny.per_sweep_total.total_time);
+  EXPECT_LT(ft_perfect.per_sweep_total.total_time, rr_perfect.per_sweep_total.total_time);
+}
+
+TEST(Machine, HybridFastestOnCm5) {
+  // Section 6: the hybrid ordering is expected to be the most efficient on
+  // the CM-5 (no contention + fewer global communications than the rings).
+  const int n = 64;
+  const FatTreeTopology cm5(n / 2, CapacityProfile::kCm5);
+  const auto hybrid = model_run(HybridOrdering(16), cm5, n, CostParams{}, 1);
+  for (const char* other : {"round-robin", "odd-even", "fat-tree", "new-ring"}) {
+    const auto run = model_run(*make_ordering(other), cm5, n, CostParams{}, 1);
+    EXPECT_LE(hybrid.per_sweep_total.total_time, run.per_sweep_total.total_time)
+        << "hybrid should not lose to " << other << " on the CM-5 model";
+  }
+}
+
+TEST(Machine, MultiSweepRunAccumulates) {
+  const auto ord = make_ordering("round-robin");
+  const FatTreeTopology topo(8, CapacityProfile::kPerfect);
+  const auto one = model_run(*ord, topo, 16, CostParams{}, 1);
+  const auto two = model_run(*ord, topo, 16, CostParams{}, 2);
+  EXPECT_EQ(two.sweeps, 2);
+  EXPECT_NEAR(two.per_sweep_total.total_time, 2.0 * one.per_sweep_total.total_time, 1e-9);
+}
+
+}  // namespace
+}  // namespace treesvd

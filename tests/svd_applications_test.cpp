@@ -1,0 +1,109 @@
+// SVD application API: least squares, pseudoinverse, low-rank, rank,
+// condition number, null space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/blas1.hpp"
+#include "svd/applications.hpp"
+
+namespace treesvd {
+namespace {
+
+class Applications : public ::testing::Test {
+ protected:
+  OrderingPtr ord_ = make_ordering("fat-tree");
+  Rng rng_{2025};
+};
+
+TEST_F(Applications, LeastSquaresSatisfiesNormalEquations) {
+  const Matrix a = random_gaussian(30, 10, rng_);
+  std::vector<double> b(30);
+  for (auto& v : b) v = rng_.normal();
+  const auto x = least_squares_solve(a, b, *ord_);
+  std::vector<double> res(b.begin(), b.end());
+  for (std::size_t j = 0; j < 10; ++j) axpy(-x[j], a.col(j), res);
+  for (std::size_t j = 0; j < 10; ++j) EXPECT_NEAR(dot(a.col(j), res), 0.0, 1e-9);
+}
+
+TEST_F(Applications, LeastSquaresExactForConsistentSystems) {
+  const Matrix a = random_gaussian(12, 6, rng_);
+  std::vector<double> xtrue(6);
+  for (auto& v : xtrue) v = rng_.normal();
+  std::vector<double> b(12, 0.0);
+  for (std::size_t j = 0; j < 6; ++j) axpy(xtrue[j], a.col(j), b);
+  const auto x = least_squares_solve(a, b, *ord_);
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(x[j], xtrue[j], 1e-10);
+}
+
+TEST_F(Applications, LeastSquaresRhsLengthChecked) {
+  const Matrix a = random_gaussian(8, 4, rng_);
+  std::vector<double> b(7);
+  EXPECT_THROW(least_squares_solve(a, b, *ord_), std::invalid_argument);
+}
+
+TEST_F(Applications, PseudoInverseMoorePenroseIdentities) {
+  const Matrix a = random_gaussian(14, 6, rng_);
+  const Matrix p = pseudo_inverse(a, *ord_);
+  ASSERT_EQ(p.rows(), 6u);
+  ASSERT_EQ(p.cols(), 14u);
+  // A A+ A = A and A+ A A+ = A+.
+  EXPECT_LT(((a * p) * a - a).frobenius_norm() / a.frobenius_norm(), 1e-11);
+  EXPECT_LT(((p * a) * p - p).frobenius_norm() / p.frobenius_norm(), 1e-11);
+  // A+ A symmetric (and here, full column rank: identity).
+  EXPECT_LT((p * a - Matrix::identity(6)).frobenius_norm(), 1e-10);
+}
+
+TEST_F(Applications, PseudoInverseOfRankDeficient) {
+  const Matrix a = rank_deficient(16, 8, 3, rng_);
+  const Matrix p = pseudo_inverse(a, *ord_, 1e-9);
+  EXPECT_LT(((a * p) * a - a).frobenius_norm() / a.frobenius_norm(), 1e-9);
+}
+
+TEST_F(Applications, LowRankApproximationErrorIsTailNorm) {
+  const std::vector<double> sigma = {8, 4, 2, 1, 0.5, 0.25};
+  const Matrix a = with_spectrum(15, 6, sigma, rng_);
+  const Matrix a2 = low_rank_approximation(a, 2, *ord_);
+  double tail = 0.0;
+  for (std::size_t j = 2; j < 6; ++j) tail += sigma[j] * sigma[j];
+  EXPECT_NEAR((a - a2).frobenius_norm(), std::sqrt(tail), 1e-9);
+}
+
+TEST_F(Applications, LowRankClampsToNumericalRank) {
+  const Matrix a = rank_deficient(12, 6, 2, rng_);
+  const Matrix full = low_rank_approximation(a, 6, *ord_);
+  EXPECT_LT((a - full).frobenius_norm() / a.frobenius_norm(), 1e-9);
+}
+
+TEST_F(Applications, ConditionNumber) {
+  const Matrix well = with_spectrum(16, 8, geometric_spectrum(8, 100.0), rng_);
+  EXPECT_NEAR(condition_number(well, *ord_), 100.0, 1e-6);
+  const Matrix sing = rank_deficient(16, 8, 4, rng_);
+  EXPECT_TRUE(std::isinf(condition_number(sing, *ord_, 1e-9)));
+}
+
+TEST_F(Applications, NumericalRank) {
+  EXPECT_EQ(numerical_rank(rank_deficient(20, 10, 7, rng_), *ord_, 1e-9), 7u);
+  EXPECT_EQ(numerical_rank(random_gaussian(20, 10, rng_), *ord_), 10u);
+  EXPECT_EQ(numerical_rank(Matrix(6, 4), *ord_), 0u);
+}
+
+TEST_F(Applications, NullspaceBasisIsOrthonormalAndAnnihilated) {
+  const Matrix a = rank_deficient(18, 9, 5, rng_);
+  const Matrix ns = nullspace_basis(a, *ord_, 1e-9);
+  ASSERT_EQ(ns.cols(), 4u);
+  EXPECT_LT(orthonormality_defect(ns), 1e-10);
+  EXPECT_LT((a * ns).frobenius_norm() / a.frobenius_norm(), 1e-8);
+}
+
+TEST_F(Applications, WorkAcrossOrderings) {
+  const Matrix a = rank_deficient(16, 8, 3, rng_);
+  for (const char* name : {"round-robin", "new-ring", "hybrid-g2"}) {
+    EXPECT_EQ(numerical_rank(a, *make_ordering(name), 1e-9), 3u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace treesvd

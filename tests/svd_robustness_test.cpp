@@ -1,0 +1,117 @@
+// Numerical robustness: extreme scales, duplicate columns, degenerate
+// matrices — inputs that break naive Jacobi implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(SvdRobustness, HugeUniformScale) {
+  Rng rng(71);
+  Matrix a = random_gaussian(16, 8, rng);
+  for (auto& v : a.data()) v *= 1e100;
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("fat-tree"));
+  ASSERT_TRUE(r.converged);
+  for (double s : r.sigma) EXPECT_TRUE(std::isfinite(s));
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-12);
+}
+
+TEST(SvdRobustness, TinyUniformScale) {
+  Rng rng(72);
+  Matrix a = random_gaussian(16, 8, rng);
+  for (auto& v : a.data()) v *= 1e-100;
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("new-ring"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.sigma[0], 0.0);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-12);
+}
+
+TEST(SvdRobustness, WildlyMixedColumnScales) {
+  Rng rng(73);
+  Matrix a = random_gaussian(20, 8, rng);
+  for (std::size_t j = 0; j < 8; ++j) {
+    const double scale = std::pow(10.0, 20.0 - 5.0 * static_cast<double>(j));
+    for (double& v : a.col(j)) v *= scale;
+  }
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("round-robin"));
+  ASSERT_TRUE(r.converged);
+  for (std::size_t k = 1; k < r.sigma.size(); ++k) EXPECT_GE(r.sigma[k - 1], r.sigma[k]);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-12);
+}
+
+TEST(SvdRobustness, DuplicateColumns) {
+  Rng rng(74);
+  Matrix a = random_gaussian(16, 8, rng);
+  for (std::size_t j = 4; j < 8; ++j) {
+    const auto src = a.col(j - 4);
+    const auto dst = a.col(j);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("odd-even"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.rank(1e-9), 4u);  // duplicated pairs are rank-degenerate
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-12);
+}
+
+TEST(SvdRobustness, ZeroMatrix) {
+  const Matrix z(10, 6);
+  const SvdResult r = one_sided_jacobi(z, *make_ordering("round-robin"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.sweeps, 1);
+  for (double s : r.sigma) EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(r.rank(), 0u);
+}
+
+TEST(SvdRobustness, SingleNonzeroEntry) {
+  Matrix a(8, 4);
+  a(3, 2) = -5.0;
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("fat-tree"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.sigma[0], 5.0, 1e-14);
+  for (std::size_t k = 1; k < 4; ++k) EXPECT_EQ(r.sigma[k], 0.0);
+}
+
+TEST(SvdRobustness, NearlyParallelColumns) {
+  // Columns differing by 1e-10 perturbations: severe cancellation territory.
+  Rng rng(75);
+  Matrix a(32, 6);
+  std::vector<double> base(32);
+  for (auto& v : base) v = rng.normal();
+  for (std::size_t j = 0; j < 6; ++j) {
+    const auto dst = a.col(j);
+    for (std::size_t i = 0; i < 32; ++i) dst[i] = base[i] + 1e-10 * rng.normal();
+  }
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("new-ring"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.sigma[0], 1.0);
+  EXPECT_LT(r.sigma[1] / r.sigma[0], 1e-8);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-12);
+}
+
+TEST(SvdRobustness, AlreadyOrthogonalColumnsButUnsorted) {
+  // Orthogonal columns with increasing norms: no rotations, only fused swaps.
+  Matrix a(8, 4);
+  for (int j = 0; j < 4; ++j) a(static_cast<std::size_t>(j), static_cast<std::size_t>(j)) = j + 1.0;
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("round-robin"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.rotations, 0u);
+  EXPECT_GT(r.swaps, 0u);
+  EXPECT_DOUBLE_EQ(r.sigma[0], 4.0);
+  EXPECT_DOUBLE_EQ(r.sigma[3], 1.0);
+}
+
+TEST(SvdRobustness, MinimalSizeTwoColumns) {
+  const Matrix a = Matrix::from_rows({{3, 1}, {1, 3}, {0, 0}});
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("round-robin"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.sigma[0], 4.0, 1e-12);
+  EXPECT_NEAR(r.sigma[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,134 @@
+// Block one-sided Jacobi and the QR-preconditioned path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "svd/block_jacobi.hpp"
+#include "svd/preconditioned.hpp"
+
+namespace treesvd {
+namespace {
+
+using Param = std::tuple<std::string, int>;  // ordering, block width
+
+class BlockJacobi : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BlockJacobi, FactorisationAccurateAndSorted) {
+  const auto& [name, width] = GetParam();
+  Rng rng(808);
+  const Matrix a = random_gaussian(64, 32, rng);
+  BlockJacobiOptions opt;
+  opt.block_width = width;
+  const SvdResult r = block_one_sided_jacobi(a, *make_ordering(name), opt);
+  ASSERT_TRUE(r.converged) << name << " b=" << width;
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-11);
+  EXPECT_LT(orthonormality_defect(r.v), 1e-11);
+  for (std::size_t k = 1; k < r.sigma.size(); ++k)
+    EXPECT_GE(r.sigma[k - 1], r.sigma[k] - 1e-10);
+  const auto sv = singular_values_oracle(a);
+  for (std::size_t k = 0; k < sv.size(); ++k) EXPECT_NEAR(r.sigma[k], sv[k], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderingsTimesWidths, BlockJacobi,
+    ::testing::Combine(::testing::Values("round-robin", "fat-tree", "new-ring", "hybrid-g2"),
+                       ::testing::Values(2, 4, 8)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_b" + std::to_string(std::get<1>(info.param));
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(BlockJacobiExtra, FewerOuterSweepsThanElementwise) {
+  Rng rng(809);
+  const Matrix a = random_gaussian(96, 48, rng);
+  const auto ord = make_ordering("round-robin");
+  BlockJacobiOptions opt;
+  opt.block_width = 8;
+  const SvdResult blocked = block_one_sided_jacobi(a, *ord, opt);
+  const SvdResult plain = one_sided_jacobi(a, *ord);
+  ASSERT_TRUE(blocked.converged);
+  ASSERT_TRUE(plain.converged);
+  EXPECT_LT(blocked.sweeps, plain.sweeps);
+}
+
+TEST(BlockJacobiExtra, WidthOneMatchesElementwiseBehaviour) {
+  Rng rng(810);
+  const Matrix a = random_gaussian(24, 16, rng);
+  BlockJacobiOptions opt;
+  opt.block_width = 1;
+  const SvdResult r = block_one_sided_jacobi(a, *make_ordering("round-robin"), opt);
+  ASSERT_TRUE(r.converged);
+  const auto sv = singular_values_oracle(a);
+  for (std::size_t k = 0; k < sv.size(); ++k) EXPECT_NEAR(r.sigma[k], sv[k], 1e-8);
+}
+
+TEST(BlockJacobiExtra, NonDividingWidthPadsCleanly) {
+  Rng rng(811);
+  const Matrix a = random_gaussian(30, 18, rng);  // 18 cols, width 4 -> 5 blocks -> pad
+  BlockJacobiOptions opt;
+  opt.block_width = 4;
+  const SvdResult r = block_one_sided_jacobi(a, *make_ordering("round-robin"), opt);
+  ASSERT_TRUE(r.converged);
+  ASSERT_EQ(r.sigma.size(), 18u);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-11);
+}
+
+TEST(BlockJacobiExtra, RankDeficient) {
+  Rng rng(812);
+  const Matrix a = rank_deficient(40, 16, 6, rng);
+  BlockJacobiOptions opt;
+  opt.block_width = 4;
+  const SvdResult r = block_one_sided_jacobi(a, *make_ordering("fat-tree"), opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.rank(1e-9), 6u);
+}
+
+TEST(BlockJacobiExtra, RejectsBadOptions) {
+  Rng rng(813);
+  const Matrix a = random_gaussian(8, 4, rng);
+  BlockJacobiOptions opt;
+  opt.block_width = 0;
+  EXPECT_THROW(block_one_sided_jacobi(a, *make_ordering("round-robin"), opt),
+               std::invalid_argument);
+}
+
+TEST(Preconditioned, MatchesDirectJacobi) {
+  Rng rng(814);
+  const Matrix a = random_gaussian(200, 24, rng);
+  const auto ord = make_ordering("fat-tree");
+  const SvdResult direct = one_sided_jacobi(a, *ord);
+  const SvdResult pre = qr_preconditioned_jacobi(a, *ord);
+  ASSERT_TRUE(pre.converged);
+  for (std::size_t k = 0; k < direct.sigma.size(); ++k)
+    EXPECT_NEAR(pre.sigma[k], direct.sigma[k], 1e-9);
+  EXPECT_LT(reconstruction_error(a, pre.u, pre.sigma, pre.v) / a.frobenius_norm(), 1e-12);
+  EXPECT_LT(orthonormality_defect(pre.u), 1e-10);
+}
+
+TEST(Preconditioned, TallAndSkinny) {
+  Rng rng(815);
+  const Matrix a = with_spectrum(500, 12, geometric_spectrum(12, 1e5), rng);
+  const SvdResult r = qr_preconditioned_jacobi(a, *make_ordering("new-ring"));
+  ASSERT_TRUE(r.converged);
+  const auto sv = singular_values_oracle(a);
+  for (std::size_t k = 0; k < sv.size(); ++k)
+    EXPECT_NEAR(r.sigma[k], sv[k], 1e-7 * sv[0]);
+}
+
+TEST(Preconditioned, RankDeficientTall) {
+  Rng rng(816);
+  const Matrix a = rank_deficient(120, 16, 4, rng);
+  const SvdResult r = qr_preconditioned_jacobi(a, *make_ordering("round-robin"));
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.rank(1e-9), 4u);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v) / a.frobenius_norm(), 1e-11);
+}
+
+}  // namespace
+}  // namespace treesvd

@@ -1,0 +1,92 @@
+// Direct tests for the validation/analysis helpers in core/validate.hpp.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/odd_even.hpp"
+#include "core/round_robin.hpp"
+#include "core/validate.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(CommLevel, MatchesLcaHeight) {
+  EXPECT_EQ(comm_level(0, 1), 0);   // same leaf
+  EXPECT_EQ(comm_level(0, 2), 1);   // sibling leaves
+  EXPECT_EQ(comm_level(1, 3), 1);
+  EXPECT_EQ(comm_level(0, 4), 2);
+  EXPECT_EQ(comm_level(0, 8), 3);
+  EXPECT_EQ(comm_level(7, 8), 3);
+  EXPECT_EQ(comm_level(5, 5), 0);
+}
+
+TEST(ValidateSweep, AcceptsAKnownGoodSweep) {
+  const SweepValidation v = validate_sweep(RoundRobinOrdering().sweep(16));
+  EXPECT_TRUE(v.valid);
+  EXPECT_TRUE(v.error.empty());
+}
+
+TEST(ValidateSweep, DetectsRepeatedPair) {
+  // Two identical steps: every pair of step 1 repeats.
+  std::vector<std::vector<int>> layouts = {{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}};
+  const Sweep s(std::move(layouts), {});
+  const SweepValidation v = validate_sweep(s);
+  EXPECT_FALSE(v.valid);
+  EXPECT_NE(v.error.find("twice"), std::string::npos);
+}
+
+TEST(ValidateSweep, DetectsIncompleteCoverage) {
+  // One step of n = 4 covers 2 of the 6 pairs.
+  std::vector<std::vector<int>> layouts = {{0, 1, 2, 3}, {0, 1, 2, 3}};
+  const Sweep s(std::move(layouts), {});
+  const SweepValidation v = validate_sweep(s);
+  EXPECT_FALSE(v.valid);
+  EXPECT_NE(v.error.find("expected"), std::string::npos);
+}
+
+TEST(LevelHistogram, ConservesTotalMoves) {
+  const Sweep s = OddEvenOrdering().sweep(16);
+  const auto hist = level_histogram(s);
+  std::size_t total_moves = 0;
+  for (int t = 0; t < s.steps(); ++t) total_moves += s.moves(t).size();
+  std::size_t counted = 0;
+  for (std::size_t v : hist) counted += v;
+  EXPECT_EQ(counted, total_moves);
+}
+
+TEST(LevelHistogram, IntraLeafMovesLandInBucketZero) {
+  // Round-robin's T_{m-1} -> B_{m-1} transition is intra-leaf.
+  const Sweep s = RoundRobinOrdering().sweep(8);
+  const auto hist = level_histogram(s);
+  EXPECT_GT(hist[0], 0u);
+}
+
+TEST(Unidirectional, RoundRobinIsNot) {
+  EXPECT_FALSE(unidirectional_ring_moves(RoundRobinOrdering().sweep(16)));
+}
+
+TEST(MovesPerIndex, RoundRobinMovesEveryoneButZero) {
+  const Sweep s = RoundRobinOrdering().sweep(8);
+  const auto moves = moves_per_index(s);
+  EXPECT_EQ(moves[0], 0u);
+  for (std::size_t i = 1; i < moves.size(); ++i) EXPECT_GT(moves[i], 0u);
+}
+
+TEST(MovesPerIndex, SumsMatchInterLeafMoveCount) {
+  const Sweep s = OddEvenOrdering().sweep(12);
+  const auto moves = moves_per_index(s);
+  std::size_t from_moves = 0;
+  for (int t = 0; t < s.steps(); ++t)
+    for (const ColumnMove& mv : s.moves(t))
+      if (mv.from_slot / 2 != mv.to_slot / 2) ++from_moves;
+  EXPECT_EQ(std::accumulate(moves.begin(), moves.end(), std::size_t{0}), from_moves);
+}
+
+TEST(SweepSequence, ReportsFailingSweepIndex) {
+  // The odd-even ordering is fine; sanity that the sequence validator loops.
+  const SweepValidation ok = validate_sweep_sequence(OddEvenOrdering(), 8, 5);
+  EXPECT_TRUE(ok.valid);
+}
+
+}  // namespace
+}  // namespace treesvd
