@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "treesvd::treesvd_util" for configuration "Release"
+set_property(TARGET treesvd::treesvd_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_util )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_util "${_IMPORT_PREFIX}/lib/libtreesvd_util.a" )
+
+# Import target "treesvd::treesvd_linalg" for configuration "Release"
+set_property(TARGET treesvd::treesvd_linalg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_linalg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_linalg.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_linalg )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_linalg "${_IMPORT_PREFIX}/lib/libtreesvd_linalg.a" )
+
+# Import target "treesvd::treesvd_network" for configuration "Release"
+set_property(TARGET treesvd::treesvd_network APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_network PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_network.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_network )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_network "${_IMPORT_PREFIX}/lib/libtreesvd_network.a" )
+
+# Import target "treesvd::treesvd_core" for configuration "Release"
+set_property(TARGET treesvd::treesvd_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_core )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_core "${_IMPORT_PREFIX}/lib/libtreesvd_core.a" )
+
+# Import target "treesvd::treesvd_mp" for configuration "Release"
+set_property(TARGET treesvd::treesvd_mp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_mp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_mp.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_mp )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_mp "${_IMPORT_PREFIX}/lib/libtreesvd_mp.a" )
+
+# Import target "treesvd::treesvd_svd" for configuration "Release"
+set_property(TARGET treesvd::treesvd_svd APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_svd PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_svd.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_svd )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_svd "${_IMPORT_PREFIX}/lib/libtreesvd_svd.a" )
+
+# Import target "treesvd::treesvd_eigen" for configuration "Release"
+set_property(TARGET treesvd::treesvd_eigen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_eigen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_eigen.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_eigen )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_eigen "${_IMPORT_PREFIX}/lib/libtreesvd_eigen.a" )
+
+# Import target "treesvd::treesvd_sim" for configuration "Release"
+set_property(TARGET treesvd::treesvd_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(treesvd::treesvd_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libtreesvd_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets treesvd::treesvd_sim )
+list(APPEND _cmake_import_check_files_for_treesvd::treesvd_sim "${_IMPORT_PREFIX}/lib/libtreesvd_sim.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

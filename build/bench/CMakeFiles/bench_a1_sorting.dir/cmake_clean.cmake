@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_sorting.dir/bench_a1_sorting.cpp.o"
+  "CMakeFiles/bench_a1_sorting.dir/bench_a1_sorting.cpp.o.d"
+  "bench_a1_sorting"
+  "bench_a1_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

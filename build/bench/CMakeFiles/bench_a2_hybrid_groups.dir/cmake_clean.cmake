@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_hybrid_groups.dir/bench_a2_hybrid_groups.cpp.o"
+  "CMakeFiles/bench_a2_hybrid_groups.dir/bench_a2_hybrid_groups.cpp.o.d"
+  "bench_a2_hybrid_groups"
+  "bench_a2_hybrid_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_hybrid_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_block_width.dir/bench_a5_block_width.cpp.o"
+  "CMakeFiles/bench_a5_block_width.dir/bench_a5_block_width.cpp.o.d"
+  "bench_a5_block_width"
+  "bench_a5_block_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_block_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_qr_preprocessing.dir/bench_a6_qr_preprocessing.cpp.o"
+  "CMakeFiles/bench_a6_qr_preprocessing.dir/bench_a6_qr_preprocessing.cpp.o.d"
+  "bench_a6_qr_preprocessing"
+  "bench_a6_qr_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_qr_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

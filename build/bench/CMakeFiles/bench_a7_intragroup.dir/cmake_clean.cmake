@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_intragroup.dir/bench_a7_intragroup.cpp.o"
+  "CMakeFiles/bench_a7_intragroup.dir/bench_a7_intragroup.cpp.o.d"
+  "bench_a7_intragroup"
+  "bench_a7_intragroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_intragroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_onesided_vs_twosided.dir/bench_a8_onesided_vs_twosided.cpp.o"
+  "CMakeFiles/bench_a8_onesided_vs_twosided.dir/bench_a8_onesided_vs_twosided.cpp.o.d"
+  "bench_a8_onesided_vs_twosided"
+  "bench_a8_onesided_vs_twosided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_onesided_vs_twosided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a9_accuracy.dir/bench_a9_accuracy.cpp.o"
+  "CMakeFiles/bench_a9_accuracy.dir/bench_a9_accuracy.cpp.o.d"
+  "bench_a9_accuracy"
+  "bench_a9_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

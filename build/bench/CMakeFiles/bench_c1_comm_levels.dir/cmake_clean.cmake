@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_comm_levels.dir/bench_c1_comm_levels.cpp.o"
+  "CMakeFiles/bench_c1_comm_levels.dir/bench_c1_comm_levels.cpp.o.d"
+  "bench_c1_comm_levels"
+  "bench_c1_comm_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_comm_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_sorted_svd.dir/bench_c5_sorted_svd.cpp.o"
+  "CMakeFiles/bench_c5_sorted_svd.dir/bench_c5_sorted_svd.cpp.o.d"
+  "bench_c5_sorted_svd"
+  "bench_c5_sorted_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_sorted_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

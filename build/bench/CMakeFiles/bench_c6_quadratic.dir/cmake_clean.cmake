@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_quadratic.dir/bench_c6_quadratic.cpp.o"
+  "CMakeFiles/bench_c6_quadratic.dir/bench_c6_quadratic.cpp.o.d"
+  "bench_c6_quadratic"
+  "bench_c6_quadratic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_quadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

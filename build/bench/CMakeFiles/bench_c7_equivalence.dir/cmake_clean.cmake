@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_equivalence.dir/bench_c7_equivalence.cpp.o"
+  "CMakeFiles/bench_c7_equivalence.dir/bench_c7_equivalence.cpp.o.d"
+  "bench_c7_equivalence"
+  "bench_c7_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

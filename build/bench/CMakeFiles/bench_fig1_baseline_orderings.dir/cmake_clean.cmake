@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_baseline_orderings.dir/bench_fig1_baseline_orderings.cpp.o"
+  "CMakeFiles/bench_fig1_baseline_orderings.dir/bench_fig1_baseline_orderings.cpp.o.d"
+  "bench_fig1_baseline_orderings"
+  "bench_fig1_baseline_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_baseline_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

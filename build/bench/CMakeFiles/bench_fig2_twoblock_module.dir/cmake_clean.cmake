@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_twoblock_module.dir/bench_fig2_twoblock_module.cpp.o"
+  "CMakeFiles/bench_fig2_twoblock_module.dir/bench_fig2_twoblock_module.cpp.o.d"
+  "bench_fig2_twoblock_module"
+  "bench_fig2_twoblock_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_twoblock_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

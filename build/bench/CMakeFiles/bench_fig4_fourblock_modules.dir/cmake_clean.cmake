@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fourblock_modules.dir/bench_fig4_fourblock_modules.cpp.o"
+  "CMakeFiles/bench_fig4_fourblock_modules.dir/bench_fig4_fourblock_modules.cpp.o.d"
+  "bench_fig4_fourblock_modules"
+  "bench_fig4_fourblock_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fourblock_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_merge_stages.dir/bench_fig5_merge_stages.cpp.o"
+  "CMakeFiles/bench_fig5_merge_stages.dir/bench_fig5_merge_stages.cpp.o.d"
+  "bench_fig5_merge_stages"
+  "bench_fig5_merge_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_merge_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

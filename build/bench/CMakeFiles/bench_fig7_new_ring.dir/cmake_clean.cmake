@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_new_ring.dir/bench_fig7_new_ring.cpp.o"
+  "CMakeFiles/bench_fig7_new_ring.dir/bench_fig7_new_ring.cpp.o.d"
+  "bench_fig7_new_ring"
+  "bench_fig7_new_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_new_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_modified_ring.dir/bench_fig8_modified_ring.cpp.o"
+  "CMakeFiles/bench_fig8_modified_ring.dir/bench_fig8_modified_ring.cpp.o.d"
+  "bench_fig8_modified_ring"
+  "bench_fig8_modified_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_modified_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

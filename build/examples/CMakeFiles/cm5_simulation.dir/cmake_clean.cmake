@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm5_simulation.dir/cm5_simulation.cpp.o"
+  "CMakeFiles/cm5_simulation.dir/cm5_simulation.cpp.o.d"
+  "cm5_simulation"
+  "cm5_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm5_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/image_compression.cpp" "examples/CMakeFiles/image_compression.dir/image_compression.cpp.o" "gcc" "examples/CMakeFiles/image_compression.dir/image_compression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eigen/CMakeFiles/treesvd_eigen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/treesvd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/treesvd_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/treesvd_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/treesvd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/treesvd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/treesvd_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treesvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca.dir/pca.cpp.o"
+  "CMakeFiles/pca.dir/pca.cpp.o.d"
+  "pca"
+  "pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

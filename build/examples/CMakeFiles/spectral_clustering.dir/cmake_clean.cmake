@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_clustering.dir/spectral_clustering.cpp.o"
+  "CMakeFiles/spectral_clustering.dir/spectral_clustering.cpp.o.d"
+  "spectral_clustering"
+  "spectral_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_ring.cpp" "src/core/CMakeFiles/treesvd_core.dir/block_ring.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/block_ring.cpp.o.d"
+  "/root/repo/src/core/fat_tree.cpp" "src/core/CMakeFiles/treesvd_core.dir/fat_tree.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/treesvd_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/new_ring.cpp" "src/core/CMakeFiles/treesvd_core.dir/new_ring.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/new_ring.cpp.o.d"
+  "/root/repo/src/core/odd_even.cpp" "src/core/CMakeFiles/treesvd_core.dir/odd_even.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/odd_even.cpp.o.d"
+  "/root/repo/src/core/ordering.cpp" "src/core/CMakeFiles/treesvd_core.dir/ordering.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/ordering.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/treesvd_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/round_robin.cpp" "src/core/CMakeFiles/treesvd_core.dir/round_robin.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/round_robin.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/treesvd_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/treesvd_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/treesvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_core.dir/block_ring.cpp.o"
+  "CMakeFiles/treesvd_core.dir/block_ring.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/fat_tree.cpp.o"
+  "CMakeFiles/treesvd_core.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/hybrid.cpp.o"
+  "CMakeFiles/treesvd_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/new_ring.cpp.o"
+  "CMakeFiles/treesvd_core.dir/new_ring.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/odd_even.cpp.o"
+  "CMakeFiles/treesvd_core.dir/odd_even.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/ordering.cpp.o"
+  "CMakeFiles/treesvd_core.dir/ordering.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/registry.cpp.o"
+  "CMakeFiles/treesvd_core.dir/registry.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/round_robin.cpp.o"
+  "CMakeFiles/treesvd_core.dir/round_robin.cpp.o.d"
+  "CMakeFiles/treesvd_core.dir/validate.cpp.o"
+  "CMakeFiles/treesvd_core.dir/validate.cpp.o.d"
+  "libtreesvd_core.a"
+  "libtreesvd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_eigen.dir/jacobi_eigen.cpp.o"
+  "CMakeFiles/treesvd_eigen.dir/jacobi_eigen.cpp.o.d"
+  "libtreesvd_eigen.a"
+  "libtreesvd_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas1.cpp" "src/linalg/CMakeFiles/treesvd_linalg.dir/blas1.cpp.o" "gcc" "src/linalg/CMakeFiles/treesvd_linalg.dir/blas1.cpp.o.d"
+  "/root/repo/src/linalg/generators.cpp" "src/linalg/CMakeFiles/treesvd_linalg.dir/generators.cpp.o" "gcc" "src/linalg/CMakeFiles/treesvd_linalg.dir/generators.cpp.o.d"
+  "/root/repo/src/linalg/golub_kahan.cpp" "src/linalg/CMakeFiles/treesvd_linalg.dir/golub_kahan.cpp.o" "gcc" "src/linalg/CMakeFiles/treesvd_linalg.dir/golub_kahan.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/treesvd_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/treesvd_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/treesvd_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/treesvd_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/rotation.cpp" "src/linalg/CMakeFiles/treesvd_linalg.dir/rotation.cpp.o" "gcc" "src/linalg/CMakeFiles/treesvd_linalg.dir/rotation.cpp.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cpp" "src/linalg/CMakeFiles/treesvd_linalg.dir/symmetric_eigen.cpp.o" "gcc" "src/linalg/CMakeFiles/treesvd_linalg.dir/symmetric_eigen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/treesvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_linalg.dir/blas1.cpp.o"
+  "CMakeFiles/treesvd_linalg.dir/blas1.cpp.o.d"
+  "CMakeFiles/treesvd_linalg.dir/generators.cpp.o"
+  "CMakeFiles/treesvd_linalg.dir/generators.cpp.o.d"
+  "CMakeFiles/treesvd_linalg.dir/golub_kahan.cpp.o"
+  "CMakeFiles/treesvd_linalg.dir/golub_kahan.cpp.o.d"
+  "CMakeFiles/treesvd_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/treesvd_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/treesvd_linalg.dir/qr.cpp.o"
+  "CMakeFiles/treesvd_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/treesvd_linalg.dir/rotation.cpp.o"
+  "CMakeFiles/treesvd_linalg.dir/rotation.cpp.o.d"
+  "CMakeFiles/treesvd_linalg.dir/symmetric_eigen.cpp.o"
+  "CMakeFiles/treesvd_linalg.dir/symmetric_eigen.cpp.o.d"
+  "libtreesvd_linalg.a"
+  "libtreesvd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreesvd_linalg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_mp.dir/message_passing.cpp.o"
+  "CMakeFiles/treesvd_mp.dir/message_passing.cpp.o.d"
+  "libtreesvd_mp.a"
+  "libtreesvd_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

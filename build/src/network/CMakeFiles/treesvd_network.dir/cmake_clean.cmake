@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_network.dir/topology.cpp.o"
+  "CMakeFiles/treesvd_network.dir/topology.cpp.o.d"
+  "CMakeFiles/treesvd_network.dir/traffic.cpp.o"
+  "CMakeFiles/treesvd_network.dir/traffic.cpp.o.d"
+  "libtreesvd_network.a"
+  "libtreesvd_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_sim.dir/distributed.cpp.o"
+  "CMakeFiles/treesvd_sim.dir/distributed.cpp.o.d"
+  "CMakeFiles/treesvd_sim.dir/machine.cpp.o"
+  "CMakeFiles/treesvd_sim.dir/machine.cpp.o.d"
+  "libtreesvd_sim.a"
+  "libtreesvd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

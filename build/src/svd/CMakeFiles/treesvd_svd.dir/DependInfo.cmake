@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svd/applications.cpp" "src/svd/CMakeFiles/treesvd_svd.dir/applications.cpp.o" "gcc" "src/svd/CMakeFiles/treesvd_svd.dir/applications.cpp.o.d"
+  "/root/repo/src/svd/block_jacobi.cpp" "src/svd/CMakeFiles/treesvd_svd.dir/block_jacobi.cpp.o" "gcc" "src/svd/CMakeFiles/treesvd_svd.dir/block_jacobi.cpp.o.d"
+  "/root/repo/src/svd/jacobi.cpp" "src/svd/CMakeFiles/treesvd_svd.dir/jacobi.cpp.o" "gcc" "src/svd/CMakeFiles/treesvd_svd.dir/jacobi.cpp.o.d"
+  "/root/repo/src/svd/kogbetliantz.cpp" "src/svd/CMakeFiles/treesvd_svd.dir/kogbetliantz.cpp.o" "gcc" "src/svd/CMakeFiles/treesvd_svd.dir/kogbetliantz.cpp.o.d"
+  "/root/repo/src/svd/preconditioned.cpp" "src/svd/CMakeFiles/treesvd_svd.dir/preconditioned.cpp.o" "gcc" "src/svd/CMakeFiles/treesvd_svd.dir/preconditioned.cpp.o.d"
+  "/root/repo/src/svd/spmd.cpp" "src/svd/CMakeFiles/treesvd_svd.dir/spmd.cpp.o" "gcc" "src/svd/CMakeFiles/treesvd_svd.dir/spmd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treesvd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/treesvd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/treesvd_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treesvd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_svd.dir/applications.cpp.o"
+  "CMakeFiles/treesvd_svd.dir/applications.cpp.o.d"
+  "CMakeFiles/treesvd_svd.dir/block_jacobi.cpp.o"
+  "CMakeFiles/treesvd_svd.dir/block_jacobi.cpp.o.d"
+  "CMakeFiles/treesvd_svd.dir/jacobi.cpp.o"
+  "CMakeFiles/treesvd_svd.dir/jacobi.cpp.o.d"
+  "CMakeFiles/treesvd_svd.dir/kogbetliantz.cpp.o"
+  "CMakeFiles/treesvd_svd.dir/kogbetliantz.cpp.o.d"
+  "CMakeFiles/treesvd_svd.dir/preconditioned.cpp.o"
+  "CMakeFiles/treesvd_svd.dir/preconditioned.cpp.o.d"
+  "CMakeFiles/treesvd_svd.dir/spmd.cpp.o"
+  "CMakeFiles/treesvd_svd.dir/spmd.cpp.o.d"
+  "libtreesvd_svd.a"
+  "libtreesvd_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesvd_util.dir/cli.cpp.o"
+  "CMakeFiles/treesvd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/treesvd_util.dir/rng.cpp.o"
+  "CMakeFiles/treesvd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/treesvd_util.dir/table.cpp.o"
+  "CMakeFiles/treesvd_util.dir/table.cpp.o.d"
+  "CMakeFiles/treesvd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/treesvd_util.dir/thread_pool.cpp.o.d"
+  "libtreesvd_util.a"
+  "libtreesvd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesvd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

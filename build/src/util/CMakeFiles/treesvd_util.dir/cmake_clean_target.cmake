@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreesvd_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_law_test.dir/contention_law_test.cpp.o"
+  "CMakeFiles/contention_law_test.dir/contention_law_test.cpp.o.d"
+  "contention_law_test"
+  "contention_law_test.pdb"
+  "contention_law_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_law_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

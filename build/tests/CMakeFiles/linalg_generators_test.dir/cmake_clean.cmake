@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_generators_test.dir/linalg_generators_test.cpp.o"
+  "CMakeFiles/linalg_generators_test.dir/linalg_generators_test.cpp.o.d"
+  "linalg_generators_test"
+  "linalg_generators_test.pdb"
+  "linalg_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

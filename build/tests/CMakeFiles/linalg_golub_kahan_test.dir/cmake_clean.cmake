@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_golub_kahan_test.dir/linalg_golub_kahan_test.cpp.o"
+  "CMakeFiles/linalg_golub_kahan_test.dir/linalg_golub_kahan_test.cpp.o.d"
+  "linalg_golub_kahan_test"
+  "linalg_golub_kahan_test.pdb"
+  "linalg_golub_kahan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_golub_kahan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_blockring_test.dir/ordering_blockring_test.cpp.o"
+  "CMakeFiles/ordering_blockring_test.dir/ordering_blockring_test.cpp.o.d"
+  "ordering_blockring_test"
+  "ordering_blockring_test.pdb"
+  "ordering_blockring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_blockring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

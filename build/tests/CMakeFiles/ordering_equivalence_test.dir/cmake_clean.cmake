@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_equivalence_test.dir/ordering_equivalence_test.cpp.o"
+  "CMakeFiles/ordering_equivalence_test.dir/ordering_equivalence_test.cpp.o.d"
+  "ordering_equivalence_test"
+  "ordering_equivalence_test.pdb"
+  "ordering_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

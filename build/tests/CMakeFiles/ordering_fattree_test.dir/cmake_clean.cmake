@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_fattree_test.dir/ordering_fattree_test.cpp.o"
+  "CMakeFiles/ordering_fattree_test.dir/ordering_fattree_test.cpp.o.d"
+  "ordering_fattree_test"
+  "ordering_fattree_test.pdb"
+  "ordering_fattree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_fattree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_fuzz_test.dir/ordering_fuzz_test.cpp.o"
+  "CMakeFiles/ordering_fuzz_test.dir/ordering_fuzz_test.cpp.o.d"
+  "ordering_fuzz_test"
+  "ordering_fuzz_test.pdb"
+  "ordering_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

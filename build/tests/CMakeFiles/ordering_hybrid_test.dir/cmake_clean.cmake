@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_hybrid_test.dir/ordering_hybrid_test.cpp.o"
+  "CMakeFiles/ordering_hybrid_test.dir/ordering_hybrid_test.cpp.o.d"
+  "ordering_hybrid_test"
+  "ordering_hybrid_test.pdb"
+  "ordering_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

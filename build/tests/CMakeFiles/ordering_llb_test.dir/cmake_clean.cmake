@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_llb_test.dir/ordering_llb_test.cpp.o"
+  "CMakeFiles/ordering_llb_test.dir/ordering_llb_test.cpp.o.d"
+  "ordering_llb_test"
+  "ordering_llb_test.pdb"
+  "ordering_llb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_llb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_newring_test.dir/ordering_newring_test.cpp.o"
+  "CMakeFiles/ordering_newring_test.dir/ordering_newring_test.cpp.o.d"
+  "ordering_newring_test"
+  "ordering_newring_test.pdb"
+  "ordering_newring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_newring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

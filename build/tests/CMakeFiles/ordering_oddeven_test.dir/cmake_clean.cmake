@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_oddeven_test.dir/ordering_oddeven_test.cpp.o"
+  "CMakeFiles/ordering_oddeven_test.dir/ordering_oddeven_test.cpp.o.d"
+  "ordering_oddeven_test"
+  "ordering_oddeven_test.pdb"
+  "ordering_oddeven_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_oddeven_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_property_test.dir/ordering_property_test.cpp.o"
+  "CMakeFiles/ordering_property_test.dir/ordering_property_test.cpp.o.d"
+  "ordering_property_test"
+  "ordering_property_test.pdb"
+  "ordering_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordering_roundrobin_test.dir/ordering_roundrobin_test.cpp.o"
+  "CMakeFiles/ordering_roundrobin_test.dir/ordering_roundrobin_test.cpp.o.d"
+  "ordering_roundrobin_test"
+  "ordering_roundrobin_test.pdb"
+  "ordering_roundrobin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordering_roundrobin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

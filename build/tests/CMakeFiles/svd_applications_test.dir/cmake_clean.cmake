@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_applications_test.dir/svd_applications_test.cpp.o"
+  "CMakeFiles/svd_applications_test.dir/svd_applications_test.cpp.o.d"
+  "svd_applications_test"
+  "svd_applications_test.pdb"
+  "svd_applications_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_applications_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

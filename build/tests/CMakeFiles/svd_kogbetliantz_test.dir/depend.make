@@ -1,0 +1,2 @@
+# Empty dependencies file for svd_kogbetliantz_test.
+# This may be replaced when dependencies are built.
