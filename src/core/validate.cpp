@@ -64,8 +64,11 @@ int comm_level(int from_slot, int to_slot) {
 }
 
 std::vector<std::size_t> level_histogram(const Sweep& sweep) {
+  // Tree height is ceil(log2(leaves)): with a non-power-of-two leaf count a
+  // transfer between leaves m-1 and 0 still climbs to the first level whose
+  // subtree covers both, one past floor(log2).
   int max_level = 0;
-  for (int leaves = sweep.leaves(); leaves > 1; leaves /= 2) ++max_level;
+  while ((1 << max_level) < sweep.leaves()) ++max_level;
   std::vector<std::size_t> hist(static_cast<std::size_t>(max_level) + 1, 0);
   for (int t = 0; t < sweep.steps(); ++t)
     for (const ColumnMove& mv : sweep.moves(t))

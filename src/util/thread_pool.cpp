@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <utility>
+
 namespace treesvd {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -27,8 +29,14 @@ void ThreadPool::worker_loop(unsigned /*id*/) {
     while (next_ < count_) {
       const std::size_t i = next_++;
       lock.unlock();
-      (*task_)(i);
+      std::exception_ptr error;
+      try {
+        (*task_)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
       lock.lock();
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0 && next_ >= count_) cv_done_.notify_all();
     }
@@ -47,6 +55,7 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     count_ = count;
     next_ = 0;
     in_flight_ = count;
+    first_error_ = nullptr;
     ++generation_;
   }
   cv_work_.notify_all();
@@ -56,14 +65,25 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     if (next_ >= count_) break;
     const std::size_t i = next_++;
     lock.unlock();
-    task(i);
+    std::exception_ptr error;
+    try {
+      task(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error && !first_error_) first_error_ = std::move(error);
     --in_flight_;
     if (in_flight_ == 0 && next_ >= count_) cv_done_.notify_all();
   }
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return in_flight_ == 0; });
   task_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 }  // namespace treesvd

@@ -26,7 +26,14 @@ class ThreadPool {
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()) + 1; }
 
   /// Runs task(i) for i in [0, count), distributing across the pool and the
-  /// calling thread; returns when all complete. Tasks must not throw.
+  /// calling thread; returns when all complete.
+  ///
+  /// Exception contract: a throwing task does not terminate the process. The
+  /// first exception (in completion order) is captured and rethrown from
+  /// parallel_for on the calling thread once every iteration has finished;
+  /// subsequent exceptions from the same call are discarded. Iterations are
+  /// not cancelled — all `count` tasks run even after one throws, so tasks
+  /// must leave shared state consistent on the exceptional path too.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& task);
 
  private:
@@ -41,6 +48,7 @@ class ThreadPool {
   std::size_t next_ = 0;
   std::size_t in_flight_ = 0;
   std::size_t generation_ = 0;
+  std::exception_ptr first_error_;  ///< first task exception of the current parallel_for
   bool stop_ = false;
 };
 

@@ -58,8 +58,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("round-robin", "odd-even", "fat-tree", "new-ring",
                                          "hybrid-g4"),
                        ::testing::Values(16, 31, 32)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_n" + std::to_string(std::get<1>(param_info.param));
       for (auto& c : name)
         if (c == '-') c = '_';
       return name;

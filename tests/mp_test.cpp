@@ -59,7 +59,9 @@ TEST(MessagePassing, RingPass) {
         value = ctx.recv(holder, static_cast<std::uint64_t>(round))[0];
       }
     }
-    if (ctx.rank() == 0) EXPECT_DOUBLE_EQ(value, 2.0 * ranks);
+    if (ctx.rank() == 0) {
+      EXPECT_DOUBLE_EQ(value, 2.0 * ranks);
+    }
   });
 }
 
@@ -126,8 +128,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("round-robin", "odd-even", "fat-tree", "new-ring",
                                          "hybrid-g2"),
                        ::testing::Values(8, 16)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_n" + std::to_string(std::get<1>(param_info.param));
       for (auto& c : name)
         if (c == '-') c = '_';
       return name;

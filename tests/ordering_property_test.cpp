@@ -113,8 +113,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          "new-ring", "modified-ring", "hybrid-g2", "hybrid-g4",
                                          "hybrid-g8", "block-ring-g2", "block-ring-g4"),
                        ::testing::Values(4, 6, 8, 12, 16, 32, 64, 128, 256)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_n" + std::to_string(std::get<1>(param_info.param));
       for (auto& c : name)
         if (c == '-') c = '_';
       return name;

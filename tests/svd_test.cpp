@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("round-robin", "odd-even", "fat-tree", "llb-fat-tree",
                                          "new-ring", "modified-ring", "hybrid-g4"),
                        ::testing::Values(0, 1, 2, 3, 4)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = std::get<0>(info.param) + std::string("_") +
-                         kFamilies[static_cast<std::size_t>(std::get<1>(info.param))].name;
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + std::string("_") +
+                         kFamilies[static_cast<std::size_t>(std::get<1>(param_info.param))].name;
       for (auto& c : name)
         if (c == '-') c = '_';
       return name;

@@ -37,8 +37,8 @@ INSTANTIATE_TEST_SUITE_P(
     OrderingsTimesWidths, BlockJacobi,
     ::testing::Combine(::testing::Values("round-robin", "fat-tree", "new-ring", "hybrid-g2"),
                        ::testing::Values(2, 4, 8)),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = std::get<0>(info.param) + "_b" + std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_b" + std::to_string(std::get<1>(param_info.param));
       for (auto& c : name)
         if (c == '-') c = '_';
       return name;

@@ -145,5 +145,36 @@ TEST(ThreadPool, SingleThreadFallback) {
   EXPECT_EQ(calls.load(), 57);
 }
 
+TEST(ThreadPool, TaskExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.parallel_for(200,
+                                 [&](std::size_t i) {
+                                   calls.fetch_add(1);
+                                   if (i == 57) throw std::runtime_error("task 57 failed");
+                                 }),
+               std::runtime_error);
+  // Iterations are not cancelled: every task still ran despite the throw.
+  EXPECT_EQ(calls.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionInSerialFallbackPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(3,
+                                 [](std::size_t i) {
+                                   if (i == 1) throw std::logic_error("boom");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, UsableAfterTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(50, [](std::size_t) { throw std::runtime_error("all fail"); }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  pool.parallel_for(50, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 50);
+}
+
 }  // namespace
 }  // namespace treesvd

@@ -54,6 +54,20 @@ TEST(LevelHistogram, ConservesTotalMoves) {
   EXPECT_EQ(counted, total_moves);
 }
 
+TEST(LevelHistogram, NonPowerOfTwoLeafCountFitsTallestTransfer) {
+  // Regression: with 3 leaves (n = 6) a transfer between leaves 2 and 0
+  // crosses ceil(log2(3)) = 2 levels; the histogram used to size itself by
+  // floor(log2) and write out of bounds.
+  const Sweep s = RoundRobinOrdering().sweep(6);
+  const auto hist = level_histogram(s);
+  EXPECT_EQ(hist.size(), 3u);
+  std::size_t total_moves = 0;
+  for (int t = 0; t < s.steps(); ++t) total_moves += s.moves(t).size();
+  std::size_t counted = 0;
+  for (std::size_t v : hist) counted += v;
+  EXPECT_EQ(counted, total_moves);
+}
+
 TEST(LevelHistogram, IntraLeafMovesLandInBucketZero) {
   // Round-robin's T_{m-1} -> B_{m-1} transition is intra-leaf.
   const Sweep s = RoundRobinOrdering().sweep(8);
