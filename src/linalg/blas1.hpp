@@ -3,7 +3,10 @@
 //
 // These are the only dense kernels the one-sided Jacobi method needs: the
 // Gram elements of a column pair (dot products and squared norms) and the
-// plane-rotation updates. Written as plain loops the compiler can vectorise.
+// plane-rotation updates. The implementations use restrict-qualified raw
+// pointers and multiple independent accumulators so the compiler can keep
+// several vector lanes of partial sums in flight (the single-accumulator
+// form serialises on the add latency chain and halves SIMD throughput).
 
 #include <cstddef>
 #include <span>
@@ -12,6 +15,10 @@ namespace treesvd {
 
 /// x . y
 double dot(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// x . x, accumulated unscaled (consistent with gram_pair; use nrm2 when the
+/// entries may overflow or underflow under squaring).
+double sumsq(std::span<const double> x) noexcept;
 
 /// ||x||_2, computed with scaling so that it neither overflows nor underflows.
 double nrm2(std::span<const double> x) noexcept;

@@ -18,24 +18,139 @@ JacobiRotation compute_rotation(const GramPair& g, double tol) noexcept {
 }
 
 void apply_rotation(std::span<double> x, std::span<double> y, double c, double s) noexcept {
+  double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const double xi = x[i];
-    const double yi = y[i];
-    x[i] = c * xi - s * yi;
-    y[i] = s * xi + c * yi;
+    const double xi = xp[i];
+    const double yi = yp[i];
+    xp[i] = c * xi - s * yi;
+    yp[i] = s * xi + c * yi;
   }
 }
 
 void apply_rotation_swapped(std::span<double> x, std::span<double> y, double c,
                             double s) noexcept {
+  double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const double xi = x[i];
-    const double yi = y[i];
-    x[i] = s * xi + c * yi;
-    y[i] = c * xi - s * yi;
+    const double xi = xp[i];
+    const double yi = yp[i];
+    xp[i] = s * xi + c * yi;
+    yp[i] = c * xi - s * yi;
   }
+}
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TREESVD_HAVE_VEC_EXT 1
+// Two-lane double vector (one SSE2 register). The compiler cannot vectorise
+// the fused loop on its own — the norm accumulation is a floating-point
+// reduction, which strict IEEE semantics forbid reassociating — so the lane
+// split is spelled out here. Each lane still computes exactly
+// c*x[i] - s*y[i] / s*x[i] + c*y[i], so the rotated columns are bit-identical
+// to apply_rotation*(); only the *order* of the norm summation differs.
+typedef double v2d __attribute__((vector_size(16)));
+#endif
+
+// Shared body for the fused kernels; `kSwap` selects which rotated vector
+// lands in which column (paper eq. (3) writes the pair back in sorted order).
+template <bool kSwap>
+RotatedNorms rotate_and_norms_impl(double* __restrict xp, double* __restrict yp,
+                                   std::size_t n, double c, double s) noexcept {
+  double xx = 0.0;
+  double yy = 0.0;
+  std::size_t i = 0;
+#ifdef TREESVD_HAVE_VEC_EXT
+  v2d xx0 = {0.0, 0.0};
+  v2d xx1 = {0.0, 0.0};
+  v2d yy0 = {0.0, 0.0};
+  v2d yy1 = {0.0, 0.0};
+  const v2d cv = {c, c};
+  const v2d sv = {s, s};
+  for (; i + 4 <= n; i += 4) {
+    v2d x0;
+    v2d x1;
+    v2d y0;
+    v2d y1;
+    __builtin_memcpy(&x0, xp + i, 16);
+    __builtin_memcpy(&x1, xp + i + 2, 16);
+    __builtin_memcpy(&y0, yp + i, 16);
+    __builtin_memcpy(&y1, yp + i + 2, 16);
+    const v2d r0 = cv * x0 - sv * y0;
+    const v2d t0 = sv * x0 + cv * y0;
+    const v2d r1 = cv * x1 - sv * y1;
+    const v2d t1 = sv * x1 + cv * y1;
+    const v2d nx0 = kSwap ? t0 : r0;
+    const v2d ny0 = kSwap ? r0 : t0;
+    const v2d nx1 = kSwap ? t1 : r1;
+    const v2d ny1 = kSwap ? r1 : t1;
+    __builtin_memcpy(xp + i, &nx0, 16);
+    __builtin_memcpy(xp + i + 2, &nx1, 16);
+    __builtin_memcpy(yp + i, &ny0, 16);
+    __builtin_memcpy(yp + i + 2, &ny1, 16);
+    xx0 += nx0 * nx0;
+    yy0 += ny0 * ny0;
+    xx1 += nx1 * nx1;
+    yy1 += ny1 * ny1;
+  }
+  const v2d xxs = xx0 + xx1;
+  const v2d yys = yy0 + yy1;
+  xx = xxs[0] + xxs[1];
+  yy = yys[0] + yys[1];
+#else
+  // Portable fallback: 2-way unroll with independent accumulators so the
+  // reductions don't form one long dependence chain.
+  double xxa = 0.0;
+  double xxb = 0.0;
+  double yya = 0.0;
+  double yyb = 0.0;
+  for (; i + 2 <= n; i += 2) {
+    const double r0 = c * xp[i] - s * yp[i];
+    const double t0 = s * xp[i] + c * yp[i];
+    const double r1 = c * xp[i + 1] - s * yp[i + 1];
+    const double t1 = s * xp[i + 1] + c * yp[i + 1];
+    const double nx0 = kSwap ? t0 : r0;
+    const double ny0 = kSwap ? r0 : t0;
+    const double nx1 = kSwap ? t1 : r1;
+    const double ny1 = kSwap ? r1 : t1;
+    xp[i] = nx0;
+    yp[i] = ny0;
+    xp[i + 1] = nx1;
+    yp[i + 1] = ny1;
+    xxa += nx0 * nx0;
+    yya += ny0 * ny0;
+    xxb += nx1 * nx1;
+    yyb += ny1 * ny1;
+  }
+  xx = xxa + xxb;
+  yy = yya + yyb;
+#endif
+  for (; i < n; ++i) {
+    const double r0 = c * xp[i] - s * yp[i];
+    const double t0 = s * xp[i] + c * yp[i];
+    const double nx = kSwap ? t0 : r0;
+    const double ny = kSwap ? r0 : t0;
+    xp[i] = nx;
+    yp[i] = ny;
+    xx += nx * nx;
+    yy += ny * ny;
+  }
+  return {xx, yy};
+}
+
+}  // namespace
+
+RotatedNorms rotate_and_norms(std::span<double> x, std::span<double> y, double c,
+                              double s) noexcept {
+  return rotate_and_norms_impl<false>(x.data(), y.data(), x.size(), c, s);
+}
+
+RotatedNorms rotate_and_norms_swapped(std::span<double> x, std::span<double> y, double c,
+                                      double s) noexcept {
+  return rotate_and_norms_impl<true>(x.data(), y.data(), x.size(), c, s);
 }
 
 RotatedNorms rotated_norms(const GramPair& g, const JacobiRotation& r) noexcept {

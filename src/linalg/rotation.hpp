@@ -55,4 +55,18 @@ struct RotatedNorms {
 };
 RotatedNorms rotated_norms(const GramPair& g, const JacobiRotation& r) noexcept;
 
+/// Fused rotate-and-norms: applies the plane rotation (as apply_rotation)
+/// and accumulates the squared norms of the *rotated* columns in the same
+/// pass over the data. One read+write pass instead of a rotation pass plus a
+/// norm pass — this is what keeps a NormCache exact: the returned sums are a
+/// fresh reduction of the stored values, not an algebraic extrapolation.
+RotatedNorms rotate_and_norms(std::span<double> x, std::span<double> y, double c,
+                              double s) noexcept;
+
+/// Fused eq.-(3) variant: rotate, interchange, and accumulate norms in one
+/// pass. Returns the squared norms of the stored columns (app for the new x,
+/// aqq for the new y, i.e. after the swap).
+RotatedNorms rotate_and_norms_swapped(std::span<double> x, std::span<double> y, double c,
+                                      double s) noexcept;
+
 }  // namespace treesvd

@@ -58,13 +58,22 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
   SlotStore h(static_cast<std::size_t>(n), rows);
   SlotStore v(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
 
-  // Initial distribution: slot s holds column s of A and e_s of V.
+  // Initial distribution: slot s holds column s of A and e_s of V. When the
+  // cached-norm path is on, each slot also carries its column's squared norm
+  // (hsq), which travels with the column on every exchange — the distributed
+  // twin of the shared-memory driver's NormCache, kept bitwise in lockstep.
   std::vector<int> index_at_slot(static_cast<std::size_t>(n));
+  std::vector<double> hsq(static_cast<std::size_t>(n), 0.0);
+  KernelCounters counters;
   for (int s = 0; s < n; ++s) {
     index_at_slot[static_cast<std::size_t>(s)] = s;
     const auto src = a.col(static_cast<std::size_t>(s));
     std::copy(src.begin(), src.end(), h.at(s).begin());
     v.at(s)[static_cast<std::size_t>(s)] = 1.0;
+  }
+  if (options.cache_norms) {
+    for (int s = 0; s < n; ++s) hsq[static_cast<std::size_t>(s)] = sumsq(h.at(s));
+    counters.add_norm_refresh(static_cast<std::size_t>(n));
   }
 
   DistributedResult out;
@@ -75,6 +84,13 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
 
   std::vector<int> layout(index_at_slot);
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Scheduled drift control, same cadence as the shared-memory driver's
+    // NormCache refresh (a local re-reduction on every leaf, no messages).
+    if (options.cache_norms && sweep > 0 && options.norm_recompute_sweeps > 0 &&
+        sweep % options.norm_recompute_sweeps == 0) {
+      for (int s2 = 0; s2 < n; ++s2) hsq[static_cast<std::size_t>(s2)] = sumsq(h.at(s2));
+      counters.add_norm_refresh(static_cast<std::size_t>(n));
+    }
     const Sweep s = ordering.sweep_from(layout, sweep);
     // A sweep's opening layout may orient pairs within a leaf differently
     // from how the previous sweep deposited them (intra-leaf placement is
@@ -95,6 +111,7 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
                   index_at_slot[static_cast<std::size_t>(hi)]);
         h.swap_slots(lo, hi);
         v.swap_slots(lo, hi);
+        std::swap(hsq[static_cast<std::size_t>(lo)], hsq[static_cast<std::size_t>(hi)]);
       }
     }
     std::size_t sweep_rot = 0;
@@ -114,9 +131,19 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
         if (index_at_slot[static_cast<std::size_t>(slot_lo)] >
             index_at_slot[static_cast<std::size_t>(slot_hi)])
           std::swap(slot_lo, slot_hi);  // x = column of the smaller index
-        const auto o =
-            detail::process_pair_columns(h.at(slot_lo), h.at(slot_hi), v.at(slot_lo),
-                                         v.at(slot_hi), options);
+        detail::PairOutcome o;
+        if (options.cache_norms) {
+          const auto co = detail::process_pair_columns_cached(
+              h.at(slot_lo), h.at(slot_hi), v.at(slot_lo), v.at(slot_hi),
+              hsq[static_cast<std::size_t>(slot_lo)], hsq[static_cast<std::size_t>(slot_hi)],
+              options, counters);
+          hsq[static_cast<std::size_t>(slot_lo)] = co.app;
+          hsq[static_cast<std::size_t>(slot_hi)] = co.aqq;
+          o = co.outcome;
+        } else {
+          o = detail::process_pair_columns(h.at(slot_lo), h.at(slot_hi), v.at(slot_lo),
+                                           v.at(slot_hi), options, &counters);
+        }
         sweep_rot += o.rotated ? 1 : 0;
         sweep_swap += o.swapped ? 1 : 0;
       }
@@ -143,9 +170,17 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
       out.cost.max_contention = std::max(out.cost.max_contention, st.max_contention);
       ++out.cost.transitions_using_level[static_cast<std::size_t>(st.max_level)];
 
-      // Deliver: physically relocate the columns (H and V travel together).
+      // Deliver: physically relocate the columns (H, V and the cached norm
+      // travel together, like the spmd engine's column payload).
       h.move_all(moves);
       v.move_all(moves);
+      {
+        std::vector<std::pair<int, double>> hsq_in_flight;
+        hsq_in_flight.reserve(moves.size());
+        for (const ColumnMove& mv : moves)
+          hsq_in_flight.emplace_back(mv.to_slot, hsq[static_cast<std::size_t>(mv.from_slot)]);
+        for (const auto& [to, sq] : hsq_in_flight) hsq[static_cast<std::size_t>(to)] = sq;
+      }
       for (const ColumnMove& mv : moves)
         index_at_slot[static_cast<std::size_t>(mv.to_slot)] = mv.index;
     }
@@ -160,6 +195,7 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
     }
   }
   out.cost.total_time = out.cost.compute_time + out.cost.comm_time;
+  out.svd.kernel_stats = counters.snapshot();
 
   // Gather: index i's column sits at the slot the final layout assigns it.
   std::vector<int> slot_of(static_cast<std::size_t>(n));

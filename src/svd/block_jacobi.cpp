@@ -18,10 +18,12 @@ struct InnerStats {
 };
 
 InnerStats inner_orthogonalise(Matrix& h, Matrix* v, const std::vector<int>& cols,
-                               const BlockJacobiOptions& opt) {
+                               const BlockJacobiOptions& opt, NormCache* cache,
+                               KernelCounters* plain_counters) {
   JacobiOptions jopt;
   jopt.tol = opt.tol;
   jopt.sort = opt.sort;
+  jopt.cache_norms = opt.cache_norms;
   InnerStats stats;
   for (int sweep = 0; sweep < opt.inner_sweeps; ++sweep) {
     std::size_t pass_rot = 0;
@@ -30,7 +32,9 @@ InnerStats inner_orthogonalise(Matrix& h, Matrix* v, const std::vector<int>& col
       for (std::size_t b = a + 1; b < cols.size(); ++b) {
         const int i = std::min(cols[a], cols[b]);
         const int j = std::max(cols[a], cols[b]);
-        const auto o = detail::process_pair(h, v, i, j, jopt);
+        const auto o = cache != nullptr
+                           ? detail::process_pair_cached(h, v, i, j, jopt, *cache)
+                           : detail::process_pair(h, v, i, j, jopt, plain_counters);
         pass_rot += o.rotated ? 1 : 0;
         pass_swap += o.swapped ? 1 : 0;
       }
@@ -82,22 +86,28 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   std::vector<int> layout(static_cast<std::size_t>(nb));
   for (int i = 0; i < nb; ++i) layout[static_cast<std::size_t>(i)] = i;
 
-  JacobiOptions jopt;
-  jopt.tol = options.tol;
-  jopt.sort = options.sort;
-  jopt.rank_tol = options.rank_tol;
+  NormCache cache;
+  if (options.cache_norms) cache.refresh(h);
+  KernelCounters plain_counters;
+  NormCache* cp = options.cache_norms ? &cache : nullptr;
 
   SvdResult r;
   for (int sweep = 0; sweep < options.max_outer_sweeps; ++sweep) {
+    if (cp != nullptr && sweep > 0 && options.norm_recompute_sweeps > 0 &&
+        sweep % options.norm_recompute_sweeps == 0)
+      cache.refresh(h);
     const Sweep s = ordering.sweep_from(layout, sweep);
     std::size_t sweep_rot = 0;
     std::size_t sweep_swap = 0;
     for (int t = 0; t < s.steps(); ++t) {
-      for (const IndexPair& p : s.pairs(t)) {
+      const StepPairs pairs = s.step_pairs(t);
+      for (int k = 0; k < pairs.leaves(); ++k) {
+        if (!pairs.active_at(k)) continue;
+        const IndexPair p = pairs.at(k);
         std::vector<int> cols = block_cols(std::min(p.even, p.odd));
         const std::vector<int> other = block_cols(std::max(p.even, p.odd));
         cols.insert(cols.end(), other.begin(), other.end());
-        const InnerStats stats = inner_orthogonalise(h, vp, cols, options);
+        const InnerStats stats = inner_orthogonalise(h, vp, cols, options, cp, &plain_counters);
         sweep_rot += stats.rotations;
         sweep_swap += stats.swaps;
       }
@@ -112,6 +122,9 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
       break;
     }
   }
+
+  r.kernel_stats =
+      options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
 
   // Finalisation mirrors the element-wise engine.
   r.sigma.resize(a.cols());

@@ -26,6 +26,11 @@ struct BlockJacobiOptions {
   SortMode sort = SortMode::kDescending;
   bool compute_v = true;
   double rank_tol = 1e-12;
+  /// Cached-norm fast path for the inner panel sweeps (see norm_cache.hpp).
+  bool cache_norms = true;
+  /// Full NormCache re-reduction every this many *outer* sweeps (<= 0
+  /// disables the scheduled refresh).
+  int norm_recompute_sweeps = 8;
 };
 
 /// Block one-sided Jacobi SVD of an m x n matrix (m >= n) with the given

@@ -16,6 +16,7 @@ namespace {
 
 using detail::PairOutcome;
 using detail::process_pair;
+using detail::process_pair_cached;
 
 /// Pads A with zero columns to the nearest width the ordering supports.
 Matrix pad_columns(const Matrix& a, const Ordering& ordering, int* padded_n) {
@@ -64,6 +65,15 @@ SvdResult finalize(Matrix h, Matrix v, std::size_t orig_cols, const JacobiOption
   return r;
 }
 
+/// Scheduled drift control: full cache re-reduction every
+/// norm_recompute_sweeps sweeps (the near-threshold guard in the pair kernel
+/// handles the decision-critical cases in between).
+void maybe_refresh(NormCache* cache, const Matrix& h, int sweep, const JacobiOptions& opt) {
+  if (cache == nullptr || cache->empty()) return;
+  if (sweep > 0 && opt.norm_recompute_sweeps > 0 && sweep % opt.norm_recompute_sweeps == 0)
+    cache->refresh(h);
+}
+
 }  // namespace
 
 std::size_t SvdResult::rank(double rank_tol) const {
@@ -75,16 +85,37 @@ std::size_t SvdResult::rank(double rank_tol) const {
   return r;
 }
 
-double off_diagonal_measure(const Matrix& a) {
-  double off = 0.0;
-  double diag = 0.0;
-  for (std::size_t j = 0; j < a.cols(); ++j) {
+double off_diagonal_measure(const Matrix& a) { return off_diagonal_measure(a, nullptr, nullptr); }
+
+double off_diagonal_measure(const Matrix& a, ThreadPool* pool, const NormCache* cache) {
+  const std::size_t n = a.cols();
+  // Column j's task owns all pairs (i, j), i < j — disjoint writes into the
+  // partial-sum slots, so the parallel path needs no synchronisation.
+  std::vector<double> off_partial(n, 0.0);
+  std::vector<double> diag_partial(n, 0.0);
+  const auto column_task = [&](std::size_t j) {
+    const auto cj = a.col(j);
+    double off = 0.0;
     for (std::size_t i = 0; i < j; ++i) {
-      const double d = dot(a.col(i), a.col(j));
+      const double d = dot(a.col(i), cj);
       off += 2.0 * d * d;
     }
-    const double djj = dot(a.col(j), a.col(j));
-    diag += djj * djj;
+    off_partial[j] = off;
+    const double djj = cache != nullptr && !cache->empty() ? cache->sq(j) : dot(cj, cj);
+    diag_partial[j] = djj * djj;
+  };
+  if (pool != nullptr) {
+    // Grain 1: task cost grows linearly with j, so fine-grained dynamic
+    // scheduling is what balances the triangle.
+    pool->parallel_for(n, column_task, 1);
+  } else {
+    for (std::size_t j = 0; j < n; ++j) column_task(j);
+  }
+  double off = 0.0;
+  double diag = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    off += off_partial[j];
+    diag += diag_partial[j];
   }
   // Relative measure: off(G) / ||G||_F with G = A^T A.
   const double norm_g = std::sqrt(diag + off);
@@ -103,16 +134,26 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   std::vector<int> layout(static_cast<std::size_t>(padded_n));
   for (int i = 0; i < padded_n; ++i) layout[static_cast<std::size_t>(i)] = i;
 
+  NormCache cache;
+  if (options.cache_norms) cache.refresh(h);
+  KernelCounters plain_counters;
+
   SvdResult r;
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    maybe_refresh(&cache, h, sweep, options);
     const Sweep s = ordering.sweep_from(layout, sweep);
     std::size_t sweep_rot = 0;
     std::size_t sweep_swap = 0;
     for (int t = 0; t < s.steps(); ++t) {
-      for (const IndexPair& p : s.pairs(t)) {
+      const StepPairs pairs = s.step_pairs(t);
+      for (int k = 0; k < pairs.leaves(); ++k) {
+        if (!pairs.active_at(k)) continue;
+        const IndexPair p = pairs.at(k);
         const int i = std::min(p.even, p.odd);
         const int j = std::max(p.even, p.odd);
-        const PairOutcome o = process_pair(h, vp, i, j, options);
+        const PairOutcome o = options.cache_norms
+                                  ? process_pair_cached(h, vp, i, j, options, cache)
+                                  : process_pair(h, vp, i, j, options, &plain_counters);
         sweep_rot += o.rotated ? 1 : 0;
         sweep_swap += o.swapped ? 1 : 0;
       }
@@ -122,12 +163,16 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
     r.rotations += sweep_rot;
     r.swaps += sweep_swap;
     r.sweeps = sweep + 1;
-    if (options.track_off) r.off_history.push_back(off_diagonal_measure(h));
+    if (options.track_off)
+      r.off_history.push_back(
+          off_diagonal_measure(h, nullptr, options.cache_norms ? &cache : nullptr));
     if (sweep_rot == 0 && sweep_swap == 0) {
       r.converged = true;
       break;
     }
   }
+  r.kernel_stats =
+      options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
   return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
 }
 
@@ -144,33 +189,50 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
   for (int i = 0; i < padded_n; ++i) layout[static_cast<std::size_t>(i)] = i;
 
   ThreadPool pool(threads);
+  NormCache cache;
+  if (options.cache_norms) cache.refresh(h);
+  KernelCounters plain_counters;
+
   SvdResult r;
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    maybe_refresh(&cache, h, sweep, options);
     const Sweep s = ordering.sweep_from(layout, sweep);
     std::atomic<std::size_t> sweep_rot{0};
     std::atomic<std::size_t> sweep_swap{0};
     for (int t = 0; t < s.steps(); ++t) {
-      const std::vector<IndexPair> pairs = s.pairs(t);
-      pool.parallel_for(pairs.size(), [&](std::size_t k) {
-        const IndexPair& p = pairs[k];
-        const int i = std::min(p.even, p.odd);
-        const int j = std::max(p.even, p.odd);
-        const PairOutcome o = process_pair(h, vp, i, j, options);
-        if (o.rotated) sweep_rot.fetch_add(1, std::memory_order_relaxed);
-        if (o.swapped) sweep_swap.fetch_add(1, std::memory_order_relaxed);
-      });
+      // The non-allocating view is shared read-only across the pool; tasks
+      // are indexed by leaf, so the step's pair list is never copied.
+      const StepPairs pairs = s.step_pairs(t);
+      pool.parallel_for(
+          static_cast<std::size_t>(pairs.leaves()),
+          [&](std::size_t k) {
+            if (!pairs.active_at(static_cast<int>(k))) return;
+            const IndexPair p = pairs.at(static_cast<int>(k));
+            const int i = std::min(p.even, p.odd);
+            const int j = std::max(p.even, p.odd);
+            const PairOutcome o = options.cache_norms
+                                      ? process_pair_cached(h, vp, i, j, options, cache)
+                                      : process_pair(h, vp, i, j, options, &plain_counters);
+            if (o.rotated) sweep_rot.fetch_add(1, std::memory_order_relaxed);
+            if (o.swapped) sweep_swap.fetch_add(1, std::memory_order_relaxed);
+          },
+          options.grain);
     }
     const auto fin = s.final_layout();
     layout.assign(fin.begin(), fin.end());
     r.rotations += sweep_rot.load();
     r.swaps += sweep_swap.load();
     r.sweeps = sweep + 1;
-    if (options.track_off) r.off_history.push_back(off_diagonal_measure(h));
+    if (options.track_off)
+      r.off_history.push_back(
+          off_diagonal_measure(h, &pool, options.cache_norms ? &cache : nullptr));
     if (sweep_rot.load() == 0 && sweep_swap.load() == 0) {
       r.converged = true;
       break;
     }
   }
+  r.kernel_stats =
+      options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
   return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
 }
 
@@ -182,13 +244,20 @@ SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(n)) : Matrix();
   Matrix* vp = options.compute_v ? &v : nullptr;
 
+  NormCache cache;
+  if (options.cache_norms) cache.refresh(h);
+  KernelCounters plain_counters;
+
   SvdResult r;
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    maybe_refresh(&cache, h, sweep, options);
     std::size_t sweep_rot = 0;
     std::size_t sweep_swap = 0;
     for (int i = 0; i < n - 1; ++i) {
       for (int j = i + 1; j < n; ++j) {
-        const PairOutcome o = process_pair(h, vp, i, j, options);
+        const PairOutcome o = options.cache_norms
+                                  ? process_pair_cached(h, vp, i, j, options, cache)
+                                  : process_pair(h, vp, i, j, options, &plain_counters);
         sweep_rot += o.rotated ? 1 : 0;
         sweep_swap += o.swapped ? 1 : 0;
       }
@@ -196,12 +265,16 @@ SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
     r.rotations += sweep_rot;
     r.swaps += sweep_swap;
     r.sweeps = sweep + 1;
-    if (options.track_off) r.off_history.push_back(off_diagonal_measure(h));
+    if (options.track_off)
+      r.off_history.push_back(
+          off_diagonal_measure(h, nullptr, options.cache_norms ? &cache : nullptr));
     if (sweep_rot == 0 && sweep_swap == 0) {
       r.converged = true;
       break;
     }
   }
+  r.kernel_stats =
+      options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
   return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
 }
 

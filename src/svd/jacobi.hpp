@@ -12,8 +12,11 @@
 
 #include "core/ordering.hpp"
 #include "linalg/matrix.hpp"
+#include "svd/norm_cache.hpp"
 
 namespace treesvd {
+
+class ThreadPool;
 
 /// Sorting behaviour during the iteration.
 enum class SortMode {
@@ -37,6 +40,17 @@ struct JacobiOptions {
   /// Singular values below rank_tol * sigma_max are treated as zero when
   /// forming U (their U columns are left zero).
   double rank_tol = 1e-12;
+  /// Cached-norm fast path: keep per-column squared norms in a NormCache so
+  /// each pair costs one dot-product accumulation instead of a full
+  /// three-element gram_pair (see norm_cache.hpp for the invariants).
+  bool cache_norms = true;
+  /// Drift control: fully re-reduce the NormCache every this many sweeps
+  /// (<= 0 disables the scheduled refresh; the near-threshold guard in the
+  /// pair kernel still applies).
+  int norm_recompute_sweeps = 8;
+  /// Threaded driver: pairs per ThreadPool scheduling chunk; 0 = automatic
+  /// (tiny steps run inline on the calling thread).
+  std::size_t grain = 0;
 };
 
 struct SvdResult {
@@ -48,6 +62,7 @@ struct SvdResult {
   std::size_t rotations = 0; ///< rotations above the threshold
   std::size_t swaps = 0;     ///< sorting interchanges (fused into rotations)
   std::vector<double> off_history;  ///< off(A^T A) per sweep when tracked
+  KernelStats kernel_stats;  ///< debug pass counters from the pair kernels
 
   /// Number of singular values above rank_tol * sigma_max.
   std::size_t rank(double rank_tol = 1e-12) const;
@@ -73,5 +88,11 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
 /// off(A^T A) relative to ||A||_F^2: the convergence measure of the paper's
 /// quadratic-convergence claim.
 double off_diagonal_measure(const Matrix& a);
+
+/// Same measure, with the O(n^2 m) pair products spread over `pool` (nullptr
+/// runs serially) and the diagonal terms taken from `cache` when non-null
+/// (saving one dot per column). The drivers use this form when track_off is
+/// set.
+double off_diagonal_measure(const Matrix& a, ThreadPool* pool, const NormCache* cache);
 
 }  // namespace treesvd

@@ -1,0 +1,18 @@
+#include "svd/norm_cache.hpp"
+
+#include "linalg/blas1.hpp"
+
+namespace treesvd {
+
+void NormCache::refresh(const Matrix& a) {
+  sq_.resize(a.cols());
+  for (std::size_t j = 0; j < a.cols(); ++j) sq_[j] = sumsq(a.col(j));
+  counters_.add_norm_refresh(a.cols());
+}
+
+void NormCache::refresh_column(const Matrix& a, std::size_t j) {
+  sq_[j] = sumsq(a.col(j));
+  counters_.add_norm_refresh();
+}
+
+}  // namespace treesvd

@@ -1,0 +1,116 @@
+#pragma once
+// Per-column squared-norm cache for the one-sided Jacobi drivers.
+//
+// The classical pair kernel recomputes all three Gram elements of a column
+// pair (app = x.x, aqq = y.y, apq = x.y) on every visit. But the rotation
+// itself determines the new norms — and the fused rotate_and_norms kernel
+// returns them from the same pass that writes the rotated columns — so a
+// driver that caches squared norms per column only needs the *one* mixed
+// product apq = x.y per pair: one accumulation pass instead of three.
+//
+// Invariants and drift control:
+//  * A column's cached value is the unscaled sum of squares of its current
+//    entries, accurate to the rounding of one reduction pass. Rotated pairs
+//    are re-reduced by the fused kernel (not extrapolated algebraically via
+//    app' = c^2 app - 2cs apq + s^2 aqq), and untouched columns keep exactly
+//    the value a fresh reduction would produce, so drift does not compound
+//    across sweeps.
+//  * Defensively, drivers still refresh the whole cache every
+//    JacobiOptions::norm_recompute_sweeps sweeps, and the pair kernel
+//    re-reduces both columns whenever |apq| lands within a small factor of
+//    the rotation threshold tol*sqrt(app*aqq) — the only regime where norm
+//    error could flip the skip/rotate decision.
+//
+// The embedded KernelCounters tick with relaxed atomics so concurrent pair
+// kernels (disjoint columns, shared counters) stay TSan-clean; drivers
+// snapshot them into SvdResult::kernel_stats.
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace treesvd {
+
+/// Plain snapshot of the pass counters (copyable, reported in SvdResult).
+struct KernelStats {
+  std::size_t pairs = 0;           ///< column pairs processed
+  std::size_t dot_passes = 0;      ///< single x.y accumulations (cached path)
+  std::size_t gram_passes = 0;     ///< full three-element gram_pair passes
+  std::size_t rotate_passes = 0;   ///< rotation (or fused rotate+norms) passes
+  std::size_t norm_refreshes = 0;  ///< single-column squared-norm re-reductions
+
+  KernelStats& operator+=(const KernelStats& o) noexcept {
+    pairs += o.pairs;
+    dot_passes += o.dot_passes;
+    gram_passes += o.gram_passes;
+    rotate_passes += o.rotate_passes;
+    norm_refreshes += o.norm_refreshes;
+    return *this;
+  }
+};
+
+/// Relaxed-atomic counters shared by concurrent pair kernels.
+class KernelCounters {
+ public:
+  void add_pair() noexcept { pairs_.fetch_add(1, std::memory_order_relaxed); }
+  void add_dot() noexcept { dot_.fetch_add(1, std::memory_order_relaxed); }
+  void add_gram() noexcept { gram_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rotate() noexcept { rotate_.fetch_add(1, std::memory_order_relaxed); }
+  void add_norm_refresh(std::size_t k = 1) noexcept {
+    refresh_.fetch_add(k, std::memory_order_relaxed);
+  }
+
+  KernelStats snapshot() const noexcept {
+    KernelStats s;
+    s.pairs = pairs_.load(std::memory_order_relaxed);
+    s.dot_passes = dot_.load(std::memory_order_relaxed);
+    s.gram_passes = gram_.load(std::memory_order_relaxed);
+    s.rotate_passes = rotate_.load(std::memory_order_relaxed);
+    s.norm_refreshes = refresh_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::size_t> pairs_{0};
+  std::atomic<std::size_t> dot_{0};
+  std::atomic<std::size_t> gram_{0};
+  std::atomic<std::size_t> rotate_{0};
+  std::atomic<std::size_t> refresh_{0};
+};
+
+/// Squared norms of a matrix's columns, kept current across rotations.
+/// Distinct columns may be updated concurrently (disjoint pairs of a step);
+/// the counters are shared and atomic.
+class NormCache {
+ public:
+  NormCache() = default;
+  explicit NormCache(const Matrix& a) { refresh(a); }
+
+  NormCache(const NormCache&) = delete;
+  NormCache& operator=(const NormCache&) = delete;
+
+  bool empty() const noexcept { return sq_.empty(); }
+  std::size_t size() const noexcept { return sq_.size(); }
+
+  /// Re-reduces every column (full drift reset).
+  void refresh(const Matrix& a);
+
+  /// Re-reduces one column.
+  void refresh_column(const Matrix& a, std::size_t j);
+
+  double sq(std::size_t j) const noexcept { return sq_[j]; }
+  void set(std::size_t j, double v) noexcept { sq_[j] = v; }
+  void swap_cols(std::size_t i, std::size_t j) noexcept { std::swap(sq_[i], sq_[j]); }
+
+  KernelCounters& counters() noexcept { return counters_; }
+  const KernelCounters& counters() const noexcept { return counters_; }
+
+ private:
+  std::vector<double> sq_;
+  KernelCounters counters_;
+};
+
+}  // namespace treesvd

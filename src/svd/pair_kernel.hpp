@@ -1,15 +1,31 @@
 #pragma once
 // Internal shared kernel: rotate (and optionally sort-swap) one column pair.
-// Used by the serial, thread-parallel, and distributed Jacobi drivers.
+// Used by the serial, thread-parallel, block, and distributed Jacobi drivers.
+//
+// Two flavours:
+//  * process_pair_columns — classical: one gram_pair pass (three
+//    accumulations) decides the rotation, one rotation pass applies it.
+//  * process_pair_columns_cached — the fast path: the caller supplies the
+//    cached squared norms app/aqq, so deciding the rotation costs a single
+//    x.y accumulation, and the fused rotate_and_norms pass returns the new
+//    norms for the cache. See norm_cache.hpp for the invariants.
 
+#include <cmath>
 #include <span>
 
 #include "linalg/blas1.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/rotation.hpp"
 #include "svd/jacobi.hpp"
+#include "svd/norm_cache.hpp"
 
 namespace treesvd::detail {
+
+/// Drift guard: when |apq| lands within this factor of the rotation
+/// threshold tol*sqrt(app*aqq) — the only regime where cached-norm error
+/// could flip the skip/rotate decision — both norms are re-reduced from the
+/// data before deciding.
+inline constexpr double kNormDriftGuard = 8.0;
 
 struct PairOutcome {
   bool rotated = false;
@@ -21,8 +37,13 @@ struct PairOutcome {
 /// smaller index). vx/vy are the matching V columns, or empty spans.
 inline PairOutcome process_pair_columns(std::span<double> x, std::span<double> y,
                                         std::span<double> vx, std::span<double> vy,
-                                        const JacobiOptions& opt) {
+                                        const JacobiOptions& opt,
+                                        KernelCounters* counters = nullptr) {
   const GramPair g = gram_pair(x, y);
+  if (counters != nullptr) {
+    counters->add_pair();
+    counters->add_gram();
+  }
   const JacobiRotation rot = compute_rotation(g, opt.tol);
   const bool want_swap = opt.sort == SortMode::kDescending && g.app < g.aqq;
 
@@ -31,6 +52,7 @@ inline PairOutcome process_pair_columns(std::span<double> x, std::span<double> y
 
   const double c = rot.identity ? 1.0 : rot.c;
   const double s = rot.identity ? 0.0 : rot.s;
+  if (counters != nullptr) counters->add_rotate();
   if (want_swap) {
     // Paper eq. (3): fused rotate-and-swap — the interchange costs nothing.
     apply_rotation_swapped(x, y, c, s);
@@ -45,15 +67,89 @@ inline PairOutcome process_pair_columns(std::span<double> x, std::span<double> y
   return out;
 }
 
+/// process_pair_columns plus the squared norms now stored at x's / y's
+/// position, for the caller's cache.
+struct CachedPairOutcome {
+  PairOutcome outcome;
+  double app = 0.0;
+  double aqq = 0.0;
+};
+
+/// Cached-norm fast path: app/aqq are the caller's cached squared norms of
+/// x/y. Exactly one accumulation pass (the x.y dot) is made per call; a
+/// rotation adds one fused rotate+norms pass whose sums refresh the cache.
+inline CachedPairOutcome process_pair_columns_cached(std::span<double> x, std::span<double> y,
+                                                     std::span<double> vx, std::span<double> vy,
+                                                     double app, double aqq,
+                                                     const JacobiOptions& opt,
+                                                     KernelCounters& counters) {
+  counters.add_pair();
+  const double apq = dot(x, y);
+  counters.add_dot();
+
+  double thresh = opt.tol * std::sqrt(app) * std::sqrt(aqq);
+  const double mag = std::fabs(apq);
+  if (mag > 0.0 && mag <= kNormDriftGuard * thresh && mag * kNormDriftGuard >= thresh) {
+    // Near the threshold the decision is sensitive to norm error: re-reduce.
+    app = sumsq(x);
+    aqq = sumsq(y);
+    counters.add_norm_refresh(2);
+    thresh = opt.tol * std::sqrt(app) * std::sqrt(aqq);
+  }
+
+  const GramPair g{app, aqq, apq};
+  const JacobiRotation rot = compute_rotation(g, opt.tol);
+  const bool want_swap = opt.sort == SortMode::kDescending && app < aqq;
+
+  CachedPairOutcome out;
+  out.app = app;
+  out.aqq = aqq;
+  if (rot.identity && !want_swap) return out;
+
+  const double c = rot.identity ? 1.0 : rot.c;
+  const double s = rot.identity ? 0.0 : rot.s;
+  counters.add_rotate();
+  RotatedNorms rn{};
+  if (want_swap) {
+    rn = rotate_and_norms_swapped(x, y, c, s);
+    if (!vx.empty()) apply_rotation_swapped(vx, vy, c, s);
+    out.outcome.swapped = true;
+    out.outcome.rotated = !rot.identity;
+  } else {
+    rn = rotate_and_norms(x, y, c, s);
+    if (!vx.empty()) apply_rotation(vx, vy, c, s);
+    out.outcome.rotated = true;
+  }
+  out.app = rn.app;
+  out.aqq = rn.aqq;
+  return out;
+}
+
 /// Matrix-column convenience wrapper: rotates columns (i, j), i < j, of A
 /// (and V when non-null). Thread-safe across disjoint pairs.
 inline PairOutcome process_pair(Matrix& a, Matrix* v, int i, int j,
-                                const JacobiOptions& opt) {
+                                const JacobiOptions& opt,
+                                KernelCounters* counters = nullptr) {
   const std::span<double> none;
   return process_pair_columns(
       a.col(static_cast<std::size_t>(i)), a.col(static_cast<std::size_t>(j)),
       v != nullptr ? v->col(static_cast<std::size_t>(i)) : none,
-      v != nullptr ? v->col(static_cast<std::size_t>(j)) : none, opt);
+      v != nullptr ? v->col(static_cast<std::size_t>(j)) : none, opt, counters);
+}
+
+/// Cached-norm wrapper over a NormCache keyed by column index. Thread-safe
+/// across disjoint pairs (distinct cache slots, atomic counters).
+inline PairOutcome process_pair_cached(Matrix& a, Matrix* v, int i, int j,
+                                       const JacobiOptions& opt, NormCache& cache) {
+  const std::span<double> none;
+  const auto ui = static_cast<std::size_t>(i);
+  const auto uj = static_cast<std::size_t>(j);
+  const CachedPairOutcome r = process_pair_columns_cached(
+      a.col(ui), a.col(uj), v != nullptr ? v->col(ui) : none,
+      v != nullptr ? v->col(uj) : none, cache.sq(ui), cache.sq(uj), opt, cache.counters());
+  cache.set(ui, r.app);
+  cache.set(uj, r.aqq);
+  return r.outcome;
 }
 
 }  // namespace treesvd::detail

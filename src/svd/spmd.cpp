@@ -22,6 +22,7 @@ std::uint64_t make_tag(int sweep, int step, int to_slot) {
 
 struct SlotState {
   int label = -1;               ///< which logical column occupies the slot
+  double hsq = 0.0;             ///< cached squared norm of h (travels with it)
   std::vector<double> h;        ///< column of A/H
   std::vector<double> v;        ///< column of V (empty when not tracked)
 };
@@ -51,6 +52,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   std::size_t total_swaps = 0;
   bool converged = false;
   std::mutex totals_mu;
+  KernelCounters counters;  // shared, relaxed-atomic: safe across ranks
 
   mp::World world(ranks);
   world.run([&](mp::Context& ctx) {
@@ -69,7 +71,9 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
         slot[k].v.assign(static_cast<std::size_t>(n), 0.0);
         slot[k].v[static_cast<std::size_t>(s)] = 1.0;
       }
+      slot[k].hsq = sumsq(slot[k].h);
     }
+    counters.add_norm_refresh(2);
 
     // Every rank derives the identical schedule (SPMD-style replicated
     // control); the layout evolves deterministically between sweeps.
@@ -81,6 +85,13 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
     std::size_t my_rot = 0;
     std::size_t my_swap = 0;
     for (; sweep < options.max_sweeps && !done; ++sweep) {
+      // Scheduled drift control, mirroring the shared-memory drivers: each
+      // rank re-reduces its resident columns.
+      if (options.cache_norms && sweep > 0 && options.norm_recompute_sweeps > 0 &&
+          sweep % options.norm_recompute_sweeps == 0) {
+        for (auto& sl : slot) sl.hsq = sumsq(sl.h);
+        counters.add_norm_refresh(2);
+      }
       const Sweep s = ordering.sweep_from(layout, sweep);
       // Intra-leaf reconciliation: the sweep's opening layout may orient this
       // leaf's pair the other way round; swapping locally is free.
@@ -99,9 +110,19 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
           const int lo = slot[0].label < slot[1].label ? 0 : 1;
           const int hi = 1 - lo;
           const std::span<double> none;
-          const auto o = detail::process_pair_columns(
-              slot[lo].h, slot[hi].h, options.compute_v ? std::span<double>(slot[lo].v) : none,
-              options.compute_v ? std::span<double>(slot[hi].v) : none, options);
+          const std::span<double> vlo = options.compute_v ? std::span<double>(slot[lo].v) : none;
+          const std::span<double> vhi = options.compute_v ? std::span<double>(slot[hi].v) : none;
+          detail::PairOutcome o;
+          if (options.cache_norms) {
+            const auto co = detail::process_pair_columns_cached(
+                slot[lo].h, slot[hi].h, vlo, vhi, slot[lo].hsq, slot[hi].hsq, options, counters);
+            slot[lo].hsq = co.app;
+            slot[hi].hsq = co.aqq;
+            o = co.outcome;
+          } else {
+            o = detail::process_pair_columns(slot[lo].h, slot[hi].h, vlo, vhi, options,
+                                             &counters);
+          }
           sweep_rot += o.rotated ? 1 : 0;
           sweep_swap += o.swapped ? 1 : 0;
         }
@@ -114,9 +135,12 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
           TREESVD_ASSERT(slot[k].label == mv.index);
           const int to_leaf = mv.to_slot / 2;
           if (to_leaf == me) continue;  // intra-leaf handled below
+          // The cached squared norm travels with the column, so the
+          // receiving rank never re-reduces an arriving column.
           std::vector<double> payload;
-          payload.reserve(1 + rows + slot[k].v.size());
+          payload.reserve(2 + rows + slot[k].v.size());
           payload.push_back(static_cast<double>(mv.index));
+          payload.push_back(slot[k].hsq);
           payload.insert(payload.end(), slot[k].h.begin(), slot[k].h.end());
           payload.insert(payload.end(), slot[k].v.begin(), slot[k].v.end());
           ctx.send(to_leaf, make_tag(sweep, t, mv.to_slot), std::move(payload));
@@ -145,13 +169,14 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
             TREESVD_ASSERT(src_leaf >= 0 && src_leaf != me);
             std::vector<double> payload = ctx.recv(src_leaf, make_tag(sweep, t, dst_slot));
             TREESVD_ASSERT(payload.size() ==
-                           1 + rows + (options.compute_v ? static_cast<std::size_t>(n) : 0u));
+                           2 + rows + (options.compute_v ? static_cast<std::size_t>(n) : 0u));
             next[k].label = static_cast<int>(payload[0]);
             TREESVD_ASSERT(next[k].label == want);
-            next[k].h.assign(payload.begin() + 1,
-                             payload.begin() + 1 + static_cast<std::ptrdiff_t>(rows));
+            next[k].hsq = payload[1];
+            next[k].h.assign(payload.begin() + 2,
+                             payload.begin() + 2 + static_cast<std::ptrdiff_t>(rows));
             if (options.compute_v)
-              next[k].v.assign(payload.begin() + 1 + static_cast<std::ptrdiff_t>(rows),
+              next[k].v.assign(payload.begin() + 2 + static_cast<std::ptrdiff_t>(rows),
                                payload.end());
           }
         }
@@ -186,6 +211,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   r.converged = converged;
   r.rotations = total_rotations;
   r.swaps = total_swaps;
+  r.kernel_stats = counters.snapshot();
 
   std::vector<const SlotState*> by_label(static_cast<std::size_t>(n), nullptr);
   for (const SlotState& s : final_slots) by_label[static_cast<std::size_t>(s.label)] = &s;

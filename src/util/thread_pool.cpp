@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace treesvd {
@@ -19,6 +20,30 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock,
+                            const std::function<void(std::size_t)>& task) {
+  while (next_ < count_) {
+    const std::size_t begin = next_;
+    const std::size_t end = std::min(count_, begin + grain_);
+    next_ = end;
+    lock.unlock();
+    // Catch per task, not per chunk: a throw must not cancel the remaining
+    // iterations of its chunk (the pool's contract is that every index runs).
+    std::exception_ptr error;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    lock.lock();
+    if (error && !first_error_) first_error_ = std::move(error);
+    --chunks_left_;
+    if (chunks_left_ == 0 && next_ >= count_) cv_done_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop(unsigned /*id*/) {
   std::size_t seen_generation = 0;
   for (;;) {
@@ -26,26 +51,20 @@ void ThreadPool::worker_loop(unsigned /*id*/) {
     cv_work_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
     if (stop_) return;
     seen_generation = generation_;
-    while (next_ < count_) {
-      const std::size_t i = next_++;
-      lock.unlock();
-      std::exception_ptr error;
-      try {
-        (*task_)(i);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      lock.lock();
-      if (error && !first_error_) first_error_ = std::move(error);
-      --in_flight_;
-      if (in_flight_ == 0 && next_ >= count_) cv_done_.notify_all();
-    }
+    // task_ is null when the batch already drained before this worker woke.
+    if (task_ != nullptr) run_chunks(lock, *task_);
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& task) {
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& task,
+                              std::size_t grain) {
   if (count == 0) return;
-  if (workers_.empty() || count == 1) {
+  if (grain == 0) {
+    // Auto: tiny counts aren't worth a fork-join; otherwise aim for ~8
+    // chunks per thread so the dynamic schedule can still balance load.
+    grain = count <= kAutoInlineBelow ? count : std::max<std::size_t>(1, count / (8 * size()));
+  }
+  if (workers_.empty() || count <= grain) {
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }
@@ -53,31 +72,17 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     std::lock_guard<std::mutex> lock(mu_);
     task_ = &task;
     count_ = count;
+    grain_ = grain;
     next_ = 0;
-    in_flight_ = count;
+    chunks_left_ = (count + grain - 1) / grain;
     first_error_ = nullptr;
     ++generation_;
   }
   cv_work_.notify_all();
   // The calling thread participates.
-  for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (next_ >= count_) break;
-    const std::size_t i = next_++;
-    lock.unlock();
-    std::exception_ptr error;
-    try {
-      task(i);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    lock.lock();
-    if (error && !first_error_) first_error_ = std::move(error);
-    --in_flight_;
-    if (in_flight_ == 0 && next_ >= count_) cv_done_.notify_all();
-  }
   std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [&] { return in_flight_ == 0; });
+  run_chunks(lock, task);
+  cv_done_.wait(lock, [&] { return chunks_left_ == 0; });
   task_ = nullptr;
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);

@@ -3,7 +3,10 @@
 //
 // Jacobi steps are embarrassingly parallel (disjoint column pairs); the pool
 // runs an indexed task over [0, count) and joins. Workers persist across
-// calls.
+// calls. Dispatch is chunked: threads claim `grain` consecutive indices per
+// mutex acquisition, so a step of hundreds of cheap rotations costs a
+// handful of lock round-trips instead of one per rotation, and tiny counts
+// run inline on the calling thread without waking the workers at all.
 
 #include <condition_variable>
 #include <cstddef>
@@ -16,6 +19,11 @@ namespace treesvd {
 
 class ThreadPool {
  public:
+  /// Auto grain (grain == 0) runs counts at or below this inline on the
+  /// calling thread — forking, running, and joining the workers costs more
+  /// than a few cheap tasks.
+  static constexpr std::size_t kAutoInlineBelow = 4;
+
   /// threads == 0 selects hardware_concurrency (at least 1).
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
@@ -28,16 +36,27 @@ class ThreadPool {
   /// Runs task(i) for i in [0, count), distributing across the pool and the
   /// calling thread; returns when all complete.
   ///
+  /// `grain` is the number of consecutive indices a thread claims per
+  /// scheduling round. grain == 0 selects an automatic chunk size
+  /// (count / (8 * size()), at least 1) and runs counts <= kAutoInlineBelow
+  /// inline; any count <= grain also runs inline, entirely on the calling
+  /// thread, without waking a worker.
+  ///
   /// Exception contract: a throwing task does not terminate the process. The
   /// first exception (in completion order) is captured and rethrown from
   /// parallel_for on the calling thread once every iteration has finished;
   /// subsequent exceptions from the same call are discarded. Iterations are
   /// not cancelled — all `count` tasks run even after one throws, so tasks
   /// must leave shared state consistent on the exceptional path too.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& task);
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& task,
+                    std::size_t grain = 0);
 
  private:
   void worker_loop(unsigned id);
+
+  /// Claims and runs chunks until the range is exhausted; expects `lock`
+  /// held on entry and leaves it held on exit.
+  void run_chunks(std::unique_lock<std::mutex>& lock, const std::function<void(std::size_t)>& task);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
@@ -45,8 +64,9 @@ class ThreadPool {
   std::condition_variable cv_done_;
   const std::function<void(std::size_t)>* task_ = nullptr;
   std::size_t count_ = 0;
+  std::size_t grain_ = 1;
   std::size_t next_ = 0;
-  std::size_t in_flight_ = 0;
+  std::size_t chunks_left_ = 0;  ///< unfinished chunks of the current call
   std::size_t generation_ = 0;
   std::exception_ptr first_error_;  ///< first task exception of the current parallel_for
   bool stop_ = false;

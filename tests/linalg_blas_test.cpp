@@ -53,6 +53,22 @@ TEST(Blas1, Swap) {
   EXPECT_EQ(y, (std::vector<double>{1, 2}));
 }
 
+TEST(Blas1, SumsqMatchesDotWithSelf) {
+  Rng rng(13);
+  // Sizes straddle the kernel's 4-way unroll boundary, including the tail.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+                              std::size_t{5}, std::size_t{97}, std::size_t{256}}) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.normal();
+    EXPECT_NEAR(sumsq(x), dot(x, x), 1e-12 * (1.0 + dot(x, x))) << "n=" << n;
+  }
+}
+
+TEST(Blas1, SumsqExactOnSmallIntegers) {
+  const std::vector<double> x = {1, -2, 3, -4, 5};
+  EXPECT_DOUBLE_EQ(sumsq(x), 55.0);
+}
+
 TEST(Blas1, GramPairMatchesSeparateKernels) {
   Rng rng(11);
   std::vector<double> x(97);

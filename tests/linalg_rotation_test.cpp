@@ -117,6 +117,60 @@ TEST(Rotation, FusedSwapWithIdentityRotationIsPlainSwap) {
   EXPECT_EQ(y, (std::vector<double>{1, 2}));
 }
 
+TEST(Rotation, FusedRotateAndNormsMatchesTwoPass) {
+  Rng rng(26);
+  // Sizes cover the vector main loop and every tail length.
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+                              std::size_t{7}, std::size_t{32}, std::size_t{33}}) {
+    auto x = random_vec(n, rng);
+    auto y = random_vec(n, rng);
+    auto xr = x;
+    auto yr = y;
+    const double c = 0.8;
+    const double s = 0.6;
+    const RotatedNorms rn = rotate_and_norms(x, y, c, s);
+    apply_rotation(xr, yr, c, s);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(x[i], xr[i]) << "n=" << n;
+      EXPECT_DOUBLE_EQ(y[i], yr[i]) << "n=" << n;
+    }
+    EXPECT_NEAR(rn.app, sumsq(xr), 1e-12 * (1.0 + rn.app)) << "n=" << n;
+    EXPECT_NEAR(rn.aqq, sumsq(yr), 1e-12 * (1.0 + rn.aqq)) << "n=" << n;
+  }
+}
+
+TEST(Rotation, FusedRotateAndNormsSwappedMatchesTwoPass) {
+  Rng rng(27);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{6}, std::size_t{31},
+                              std::size_t{64}}) {
+    auto x = random_vec(n, rng);
+    auto y = random_vec(n, rng);
+    auto xr = x;
+    auto yr = y;
+    const double c = 0.28;
+    const double s = 0.96;
+    const RotatedNorms rn = rotate_and_norms_swapped(x, y, c, s);
+    apply_rotation_swapped(xr, yr, c, s);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_DOUBLE_EQ(x[i], xr[i]) << "n=" << n;
+      EXPECT_DOUBLE_EQ(y[i], yr[i]) << "n=" << n;
+    }
+    EXPECT_NEAR(rn.app, sumsq(xr), 1e-12 * (1.0 + rn.app)) << "n=" << n;
+    EXPECT_NEAR(rn.aqq, sumsq(yr), 1e-12 * (1.0 + rn.aqq)) << "n=" << n;
+  }
+}
+
+TEST(Rotation, FusedRotateAndNormsPreservesPairEnergy) {
+  // A rotation is orthogonal: the returned norms must sum to the pair's
+  // pre-rotation energy.
+  Rng rng(28);
+  auto x = random_vec(48, rng);
+  auto y = random_vec(48, rng);
+  const double before = sumsq(x) + sumsq(y);
+  const RotatedNorms rn = rotate_and_norms(x, y, 0.6, 0.8);
+  EXPECT_NEAR(rn.app + rn.aqq, before, before * 1e-12);
+}
+
 TEST(Rotation, RotatedNormsIdentityPassThrough) {
   const GramPair g{2.0, 3.0, 0.1};
   const RotatedNorms rn = rotated_norms(g, JacobiRotation{});

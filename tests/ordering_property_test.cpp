@@ -101,6 +101,30 @@ TEST_P(OrderingProperty, SweepFromTransportsThePositionProcedure) {
   }
 }
 
+TEST_P(OrderingProperty, StepPairsViewMatchesPairs) {
+  if (!supported()) GTEST_SKIP() << "n not supported";
+  // The non-allocating StepPairs view must expose exactly the pairs that the
+  // allocating pairs() accessor returns, leaf by leaf.
+  const Sweep s = ordering()->sweep(n());
+  for (int t = 0; t < s.steps(); ++t) {
+    const StepPairs view = s.step_pairs(t);
+    EXPECT_EQ(view.leaves(), s.leaves());
+    const auto allocated = s.pairs(t);
+    std::vector<IndexPair> collected;
+    for (int leaf = 0; leaf < view.leaves(); ++leaf) {
+      EXPECT_EQ(view.active_at(leaf), s.leaf_active(t, leaf));
+      if (!view.active_at(leaf)) continue;
+      collected.push_back(view.at(leaf));
+    }
+    ASSERT_EQ(collected.size(), allocated.size());
+    for (std::size_t k = 0; k < collected.size(); ++k) {
+      EXPECT_EQ(collected[k].even, allocated[k].even);
+      EXPECT_EQ(collected[k].odd, allocated[k].odd);
+    }
+    EXPECT_EQ(view.count(), allocated.size());
+  }
+}
+
 TEST_P(OrderingProperty, UnsupportedSizesThrow) {
   const auto ord = ordering();
   if (ord->supports(n())) GTEST_SKIP() << "n supported";

@@ -1,0 +1,191 @@
+// Tests for the NormCache fast path: the cached-norm drivers must agree with
+// the uncached (gram-per-pair) reference across every registered ordering,
+// the debug counters must show exactly one dot pass per pair, and the drift
+// controls must keep the cache accurate even at aggressive settings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "linalg/blas1.hpp"
+#include "linalg/generators.hpp"
+#include "svd/block_jacobi.hpp"
+#include "svd/jacobi.hpp"
+#include "svd/norm_cache.hpp"
+#include "svd/spmd.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace treesvd {
+namespace {
+
+double sigma_max(const std::vector<double>& sigma) {
+  double s = 0.0;
+  for (double v : sigma) s = std::max(s, v);
+  return s;
+}
+
+void expect_sigma_close(const std::vector<double>& got, const std::vector<double>& want,
+                        double rel_tol, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  const double smax = sigma_max(want);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], want[i], rel_tol * smax) << what << " sigma[" << i << "]";
+}
+
+TEST(NormCache, CachedMatchesUncachedAcrossAllOrderings) {
+  Rng rng(101);
+  const Matrix a = random_gaussian(48, 24, rng);
+  for (const auto& name : ordering_names({4})) {
+    const auto ord = make_ordering(name);
+    JacobiOptions cached;
+    JacobiOptions uncached;
+    uncached.cache_norms = false;
+    const SvdResult rc = one_sided_jacobi(a, *ord, cached);
+    const SvdResult ru = one_sided_jacobi(a, *ord, uncached);
+    EXPECT_TRUE(rc.converged) << name;
+    EXPECT_TRUE(ru.converged) << name;
+    expect_sigma_close(rc.sigma, ru.sigma, 1e-13, name);
+    // Norm drift must not change the sweep count by more than one.
+    EXPECT_LE(std::abs(rc.sweeps - ru.sweeps), 1) << name;
+  }
+}
+
+TEST(NormCache, CachedDriverMakesOneDotPassPerPair) {
+  Rng rng(103);
+  const Matrix a = random_gaussian(64, 32, rng);
+  const auto ord = make_ordering("round-robin");
+  const SvdResult r = one_sided_jacobi(a, *ord);
+  EXPECT_GT(r.kernel_stats.pairs, 0u);
+  EXPECT_EQ(r.kernel_stats.dot_passes, r.kernel_stats.pairs);
+  EXPECT_EQ(r.kernel_stats.gram_passes, 0u);
+}
+
+TEST(NormCache, UncachedDriverMakesOneGramPassPerPair) {
+  Rng rng(103);
+  const Matrix a = random_gaussian(64, 32, rng);
+  const auto ord = make_ordering("round-robin");
+  JacobiOptions opt;
+  opt.cache_norms = false;
+  const SvdResult r = one_sided_jacobi(a, *ord, opt);
+  EXPECT_GT(r.kernel_stats.pairs, 0u);
+  EXPECT_EQ(r.kernel_stats.gram_passes, r.kernel_stats.pairs);
+  EXPECT_EQ(r.kernel_stats.dot_passes, 0u);
+}
+
+TEST(NormCache, AccurateWithoutScheduledRefresh) {
+  // norm_recompute_sweeps <= 0 disables the periodic refresh; the fused
+  // kernel's re-reduced norms plus the near-threshold guard must carry the
+  // whole iteration on their own.
+  Rng rng(107);
+  const Matrix a = random_gaussian(60, 30, rng);
+  const auto ord = make_ordering("odd-even");
+  JacobiOptions no_refresh;
+  no_refresh.norm_recompute_sweeps = 0;
+  JacobiOptions uncached;
+  uncached.cache_norms = false;
+  const SvdResult rc = one_sided_jacobi(a, *ord, no_refresh);
+  const SvdResult ru = one_sided_jacobi(a, *ord, uncached);
+  expect_sigma_close(rc.sigma, ru.sigma, 1e-13, "no scheduled refresh");
+  EXPECT_LE(std::abs(rc.sweeps - ru.sweeps), 1);
+}
+
+TEST(NormCache, EverySweepRefreshAlsoAgrees) {
+  Rng rng(109);
+  const Matrix a = random_gaussian(40, 20, rng);
+  const auto ord = make_ordering("fat-tree");
+  JacobiOptions eager;
+  eager.norm_recompute_sweeps = 1;
+  JacobiOptions uncached;
+  uncached.cache_norms = false;
+  const SvdResult rc = one_sided_jacobi(a, *ord, eager);
+  const SvdResult ru = one_sided_jacobi(a, *ord, uncached);
+  expect_sigma_close(rc.sigma, ru.sigma, 1e-13, "refresh every sweep");
+}
+
+TEST(NormCache, ThreadedAndSerialCachedAgree) {
+  Rng rng(113);
+  const Matrix a = random_gaussian(48, 24, rng);
+  const auto ord = make_ordering("fat-tree");
+  const SvdResult serial = one_sided_jacobi(a, *ord);
+  const SvdResult threaded = one_sided_jacobi_threaded(a, *ord, {}, 4);
+  expect_sigma_close(threaded.sigma, serial.sigma, 1e-13, "threaded vs serial");
+  EXPECT_EQ(threaded.sweeps, serial.sweeps);
+  EXPECT_EQ(threaded.kernel_stats.pairs, serial.kernel_stats.pairs);
+  EXPECT_EQ(threaded.kernel_stats.dot_passes, serial.kernel_stats.dot_passes);
+}
+
+TEST(NormCache, CyclicDriverCachedMatchesUncached) {
+  Rng rng(127);
+  const Matrix a = random_gaussian(36, 18, rng);
+  JacobiOptions uncached;
+  uncached.cache_norms = false;
+  const SvdResult rc = cyclic_jacobi(a);
+  const SvdResult ru = cyclic_jacobi(a, uncached);
+  expect_sigma_close(rc.sigma, ru.sigma, 1e-13, "cyclic");
+  EXPECT_EQ(rc.kernel_stats.dot_passes, rc.kernel_stats.pairs);
+}
+
+TEST(NormCache, BlockDriverCachedMatchesUncached) {
+  Rng rng(131);
+  const Matrix a = random_gaussian(48, 24, rng);
+  const auto ord = make_ordering("round-robin");
+  BlockJacobiOptions cached;
+  cached.block_width = 4;
+  BlockJacobiOptions uncached;
+  uncached.block_width = 4;
+  uncached.cache_norms = false;
+  const SvdResult rc = block_one_sided_jacobi(a, *ord, cached);
+  const SvdResult ru = block_one_sided_jacobi(a, *ord, uncached);
+  expect_sigma_close(rc.sigma, ru.sigma, 1e-13, "block");
+  EXPECT_EQ(rc.kernel_stats.gram_passes, 0u);
+}
+
+TEST(NormCache, SpmdDriverCachedMatchesUncached) {
+  Rng rng(137);
+  const Matrix a = random_gaussian(32, 16, rng);
+  const auto ord = make_ordering("round-robin");
+  JacobiOptions uncached;
+  uncached.cache_norms = false;
+  const SvdResult rc = spmd_jacobi(a, *ord);
+  const SvdResult ru = spmd_jacobi(a, *ord, uncached);
+  expect_sigma_close(rc.sigma, ru.sigma, 1e-13, "spmd");
+  EXPECT_GT(rc.kernel_stats.pairs, 0u);
+  EXPECT_EQ(rc.kernel_stats.gram_passes, 0u);
+}
+
+TEST(NormCache, RefreshAndColumnOpsTrackMatrix) {
+  Rng rng(139);
+  Matrix a = random_gaussian(16, 6, rng);
+  NormCache cache;
+  cache.refresh(a);
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    EXPECT_DOUBLE_EQ(cache.sq(j), sumsq(a.col(j))) << j;
+  cache.swap_cols(1, 4);
+  EXPECT_DOUBLE_EQ(cache.sq(1), sumsq(a.col(4)));
+  EXPECT_DOUBLE_EQ(cache.sq(4), sumsq(a.col(1)));
+  cache.set(2, 7.25);
+  EXPECT_DOUBLE_EQ(cache.sq(2), 7.25);
+  cache.refresh_column(a, 2);
+  EXPECT_DOUBLE_EQ(cache.sq(2), sumsq(a.col(2)));
+  const KernelStats ks = cache.counters().snapshot();
+  EXPECT_EQ(ks.norm_refreshes, a.cols() + 1);
+}
+
+TEST(NormCache, OffDiagonalMeasureVariantsAgree) {
+  Rng rng(149);
+  const Matrix a = random_gaussian(40, 12, rng);
+  const double serial = off_diagonal_measure(a);
+  NormCache cache;
+  cache.refresh(a);
+  ThreadPool pool(3);
+  const double with_cache = off_diagonal_measure(a, nullptr, &cache);
+  const double with_pool = off_diagonal_measure(a, &pool, &cache);
+  EXPECT_NEAR(with_cache, serial, 1e-12 * (1.0 + serial));
+  EXPECT_NEAR(with_pool, serial, 1e-12 * (1.0 + serial));
+}
+
+}  // namespace
+}  // namespace treesvd

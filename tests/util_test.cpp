@@ -5,6 +5,8 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -174,6 +176,58 @@ TEST(ThreadPool, UsableAfterTaskException) {
   std::atomic<int> calls{0};
   pool.parallel_for(50, [&](std::size_t) { calls.fetch_add(1); });
   EXPECT_EQ(calls.load(), 50);
+}
+
+TEST(ThreadPool, GrainRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, TinyCountRunsOnCallingThread) {
+  // Auto grain: counts at or below kAutoInlineBelow never wake the workers.
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  for (std::size_t count = 1; count <= ThreadPool::kAutoInlineBelow; ++count) {
+    std::atomic<int> off_thread{0};
+    pool.parallel_for(count, [&](std::size_t) {
+      if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+    });
+    EXPECT_EQ(off_thread.load(), 0) << "count=" << count;
+  }
+}
+
+TEST(ThreadPool, CountWithinGrainRunsOnCallingThread) {
+  // An explicit grain covering the whole range is a request to stay inline.
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  std::atomic<int> calls{0};
+  pool.parallel_for(100,
+                    [&](std::size_t) {
+                      calls.fetch_add(1);
+                      if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+                    },
+                    100);
+  EXPECT_EQ(calls.load(), 100);
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesWithExplicitGrain) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.parallel_for(200,
+                                 [&](std::size_t i) {
+                                   calls.fetch_add(1);
+                                   if (i == 19) throw std::runtime_error("chunk member failed");
+                                 },
+                                 8),
+               std::runtime_error);
+  EXPECT_EQ(calls.load(), 200);
 }
 
 }  // namespace
