@@ -81,6 +81,13 @@ void scal(double alpha, std::span<double> x) noexcept {
   for (double& v : x) v *= alpha;
 }
 
+void copy_div(std::span<const double> x, double denom, std::span<double> y) noexcept {
+  const double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) yp[i] = xp[i] / denom;
+}
+
 void swap(std::span<double> x, std::span<double> y) noexcept {
   double* __restrict xp = x.data();
   double* __restrict yp = y.data();

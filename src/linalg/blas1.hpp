@@ -29,6 +29,11 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept
 /// x *= alpha
 void scal(double alpha, std::span<double> x) noexcept;
 
+/// y[i] = x[i] / denom. Per-element division (not a reciprocal multiply), so
+/// the U-formation loops that moved onto it stay bitwise-identical to their
+/// historical per-element form.
+void copy_div(std::span<const double> x, double denom, std::span<double> y) noexcept;
+
 /// Swaps the contents of two equal-length vectors.
 void swap(std::span<double> x, std::span<double> y) noexcept;
 

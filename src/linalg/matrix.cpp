@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/gemm.hpp"
 #include "util/require.hpp"
 
 namespace treesvd {
@@ -68,17 +69,10 @@ double Matrix::max_abs() const noexcept {
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
   TREESVD_REQUIRE(a.cols() == b.rows(), "matrix product dimension mismatch");
+  // Tiled BLAS-3 layer; large products run on the shared pool (small ones
+  // stay serial, tiny ones take the jki fast path inside gemm_into).
   Matrix c(a.rows(), b.cols());
-  // jki loop order: streams down columns of a and c (column-major friendly).
-  for (std::size_t j = 0; j < b.cols(); ++j) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double bkj = b(k, j);
-      if (bkj == 0.0) continue;
-      const auto ak = a.col(k);
-      const auto cj = c.col(j);
-      for (std::size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
-    }
-  }
+  gemm_into(c, a, b, gemm_pool());
   return c;
 }
 
@@ -97,7 +91,9 @@ Matrix operator+(const Matrix& a, const Matrix& b) {
 }
 
 double orthonormality_defect(const Matrix& a) {
-  const Matrix g = a.transposed() * a;
+  // A^T A via the symmetric-rank-k path: half the dot products of the
+  // general product and no explicit transpose copy.
+  const Matrix g = syrk_t(a, gemm_pool());
   return (g - Matrix::identity(g.rows())).frobenius_norm();
 }
 

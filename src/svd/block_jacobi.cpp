@@ -1,30 +1,28 @@
 #include "svd/block_jacobi.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "linalg/blas1.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/rotation.hpp"
 #include "svd/pair_kernel.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace treesvd {
-namespace {
+namespace detail {
 
-/// Inner pass: mutually orthogonalise the columns listed in `cols` (global
-/// column ids of H/V) with plain cyclic one-sided Jacobi, sort rule included.
-struct InnerStats {
-  std::size_t rotations = 0;
-  std::size_t swaps = 0;
-};
-
-InnerStats inner_orthogonalise(Matrix& h, Matrix* v, const std::vector<int>& cols,
-                               const BlockJacobiOptions& opt, NormCache* cache,
-                               KernelCounters* plain_counters) {
+InnerPanelStats inner_orthogonalise_elementwise(Matrix& h, Matrix* v,
+                                                const std::vector<int>& cols,
+                                                const BlockJacobiOptions& opt, NormCache* cache,
+                                                KernelCounters* plain_counters) {
   JacobiOptions jopt;
   jopt.tol = opt.tol;
   jopt.sort = opt.sort;
   jopt.cache_norms = opt.cache_norms;
-  InnerStats stats;
+  InnerPanelStats stats;
   for (int sweep = 0; sweep < opt.inner_sweeps; ++sweep) {
     std::size_t pass_rot = 0;
     std::size_t pass_swap = 0;
@@ -46,7 +44,105 @@ InnerStats inner_orthogonalise(Matrix& h, Matrix* v, const std::vector<int>& col
   return stats;
 }
 
+namespace {
+
+/// Two-sided update G <- JᵀGJ for the plane rotation (c, s) in plane (a, b),
+/// preserving symmetry. The rotated diagonal uses the same stable
+/// norm-transfer form as the column kernels (rotated_norms); the pivot
+/// off-diagonal is zero by construction of the Jacobi rotation.
+void rotate_gram(Matrix& g, std::size_t a, std::size_t b, const JacobiRotation& rot) {
+  const double c = rot.c;
+  const double s = rot.s;
+  const GramPair gp{g(a, a), g(b, b), g(a, b)};
+  const std::size_t kw = g.rows();
+  for (std::size_t k = 0; k < kw; ++k) {
+    if (k == a || k == b) continue;
+    const double gka = g(k, a);
+    const double gkb = g(k, b);
+    const double na = c * gka - s * gkb;
+    const double nb = s * gka + c * gkb;
+    g(k, a) = na;
+    g(a, k) = na;
+    g(k, b) = nb;
+    g(b, k) = nb;
+  }
+  const RotatedNorms rn = rotated_norms(gp, rot);
+  g(a, a) = rn.app;
+  g(b, b) = rn.aqq;
+  g(a, b) = 0.0;
+  g(b, a) = 0.0;
+}
+
+/// Symmetric interchange of indices a and b of G (columns, then rows).
+void swap_gram(Matrix& g, std::size_t a, std::size_t b) {
+  swap(g.col(a), g.col(b));
+  for (std::size_t k = 0; k < g.rows(); ++k) {
+    const double t = g(a, k);
+    g(a, k) = g(b, k);
+    g(b, k) = t;
+  }
+}
+
 }  // namespace
+
+InnerPanelStats inner_orthogonalise_gram(Matrix& h, Matrix* v, const std::vector<int>& cols,
+                                         const BlockJacobiOptions& opt, NormCache* cache,
+                                         KernelCounters& counters, ThreadPool* pool) {
+  const std::size_t kw = cols.size();
+  // One Gram build per encounter: every rotate/skip/swap decision below
+  // reads this small matrix, never the m-length columns.
+  Matrix g = gram_panel(h, cols, pool);
+  counters.add_gram_build();
+  Matrix w = Matrix::identity(kw);
+
+  InnerPanelStats stats;
+  for (int sweep = 0; sweep < opt.inner_sweeps; ++sweep) {
+    std::size_t pass_rot = 0;
+    std::size_t pass_swap = 0;
+    for (std::size_t a = 0; a < kw; ++a) {
+      for (std::size_t b = a + 1; b < kw; ++b) {
+        const GramPair gp{g(a, a), g(b, b), g(a, b)};
+        const JacobiRotation rot = compute_rotation(gp, opt.tol);
+        const bool want_swap = opt.sort == SortMode::kDescending && gp.app < gp.aqq;
+        if (rot.identity && !want_swap) continue;
+        if (!rot.identity) {
+          rotate_gram(g, a, b, rot);
+          // W <- W·J: same column convention as the data-side kernel.
+          apply_rotation(w.col(a), w.col(b), rot.c, rot.s);
+          ++pass_rot;
+        }
+        if (want_swap) {
+          // Fused rotate-and-swap of paper eq. (3), in accumulator form:
+          // interchange the two local indices of G and W.
+          swap_gram(g, a, b);
+          swap(w.col(a), w.col(b));
+          ++pass_swap;
+        }
+      }
+    }
+    stats.rotations += pass_rot;
+    stats.swaps += pass_swap;
+    if (pass_rot == 0 && pass_swap == 0) break;  // panel already orthogonal
+  }
+  counters.add_accum_rotations(stats.rotations);
+  if (stats.rotations == 0 && stats.swaps == 0) return stats;  // W == I: skip the apply
+
+  // The only O(m) work of the encounter: one blocked P·W per panel. The
+  // fused squared-norm reduction of the apply pass keeps the NormCache on
+  // the same "fresh reduction of stored values" contract as the elementwise
+  // kernels (norm_cache.hpp).
+  const std::vector<double> hsq = apply_panel_update(h, cols, w, pool);
+  counters.add_blocked_apply();
+  if (v != nullptr) {
+    apply_panel_update(*v, cols, w, pool);
+    counters.add_blocked_apply();
+  }
+  if (cache != nullptr)
+    for (std::size_t j = 0; j < kw; ++j) cache->set(static_cast<std::size_t>(cols[j]), hsq[j]);
+  return stats;
+}
+
+}  // namespace detail
 
 SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
                                  const BlockJacobiOptions& options) {
@@ -58,13 +154,19 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   const int n = static_cast<int>(a.cols());
   const int b = options.block_width;
 
-  // Number of blocks the ordering will drive: at least ceil(n/b), grown to a
-  // supported count; the matrix is padded with zero columns to nb * b.
-  int nb = (n + b - 1) / b;
-  while (nb <= 2 * ((n + b - 1) / b) + 4 && !ordering.supports(nb)) ++nb;
-  TREESVD_REQUIRE(ordering.supports(nb),
-                  ordering.name() + " supports no block count near " +
-                      std::to_string((n + b - 1) / b));
+  // Number of blocks the ordering will drive: the smallest supported count
+  // in [ceil(n/b), 2*ceil(n/b) + 4]. Every registered family supports some
+  // count within a factor of two of any request (next power of two, next
+  // even count, next group multiple); +4 covers the tiny-count corner. The
+  // matrix is padded with zero columns to nb * b.
+  const int nb_min = (n + b - 1) / b;
+  const int nb_limit = 2 * nb_min + 4;
+  int nb = nb_min;
+  while (nb <= nb_limit && !ordering.supports(nb)) ++nb;
+  TREESVD_REQUIRE(nb <= nb_limit,
+                  ordering.name() + " supports no block count in [" + std::to_string(nb_min) +
+                      ", " + std::to_string(nb_limit) + "] (n=" + std::to_string(n) +
+                      ", block_width=" + std::to_string(b) + ")");
   const int padded_n = nb * b;
 
   Matrix h(a.rows(), static_cast<std::size_t>(padded_n));
@@ -90,6 +192,9 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   if (options.cache_norms) cache.refresh(h);
   KernelCounters plain_counters;
   NormCache* cp = options.cache_norms ? &cache : nullptr;
+  KernelCounters& counters = options.cache_norms ? cache.counters() : plain_counters;
+  const bool gram_mode = options.inner_mode == InnerMode::kGram;
+  ThreadPool* pool = gram_mode ? gemm_pool() : nullptr;
 
   SvdResult r;
   for (int sweep = 0; sweep < options.max_outer_sweeps; ++sweep) {
@@ -107,7 +212,11 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
         std::vector<int> cols = block_cols(std::min(p.even, p.odd));
         const std::vector<int> other = block_cols(std::max(p.even, p.odd));
         cols.insert(cols.end(), other.begin(), other.end());
-        const InnerStats stats = inner_orthogonalise(h, vp, cols, options, cp, &plain_counters);
+        const detail::InnerPanelStats stats =
+            gram_mode
+                ? detail::inner_orthogonalise_gram(h, vp, cols, options, cp, counters, pool)
+                : detail::inner_orthogonalise_elementwise(h, vp, cols, options, cp,
+                                                          &plain_counters);
         sweep_rot += stats.rotations;
         sweep_swap += stats.swaps;
       }
@@ -132,11 +241,8 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   const double smax = *std::max_element(r.sigma.begin(), r.sigma.end());
   r.u = Matrix(a.rows(), a.cols());
   for (std::size_t j = 0; j < a.cols(); ++j) {
-    if (r.sigma[j] > options.rank_tol * smax && r.sigma[j] > 0.0) {
-      const auto src = h.col(j);
-      const auto dst = r.u.col(j);
-      for (std::size_t i = 0; i < a.rows(); ++i) dst[i] = src[i] / r.sigma[j];
-    }
+    if (r.sigma[j] > options.rank_tol * smax && r.sigma[j] > 0.0)
+      copy_div(h.col(j), r.sigma[j], r.u.col(j));
   }
   if (options.compute_v) {
     r.v = Matrix(a.cols(), a.cols());

@@ -6,14 +6,37 @@
 // reference [1] of the paper (Bischof's block Jacobi) and the block ring of
 // Section 5 — is to treat b columns as one unit: the same parallel orderings
 // drive *blocks*, and when two blocks meet, their 2b columns are mutually
-// orthogonalised by an inner (local, communication-free) cyclic Jacobi pass.
+// orthogonalised by an inner (local, communication-free) Jacobi pass.
 // Fewer, larger messages; fewer outer sweeps.
+//
+// Two inner solvers are available (BlockJacobiOptions::inner_mode):
+//
+//  * kGram (default, DESIGN.md §8): per encounter, form the 2b x 2b Gram
+//    matrix G = PᵀP once (one O(m·b²) pass), run the inner cyclic Jacobi
+//    sweeps entirely on the small Gram problem while accumulating every
+//    rotation and sort-swap into a 2b x 2b orthogonal W, then apply
+//    P <- P·W (and the V panel <- V·W) as one blocked matrix product each.
+//    O(m·b²) total per encounter — compute-dense BLAS-3.
+//  * kElementwise: the historical path — every inner rotation streams the
+//    full m-length columns (O(m) per rotation, memory-bound BLAS-1). Kept
+//    bitwise-identical to its pre-BLAS-3 behaviour for cross-checks.
+
+#include <cstddef>
+#include <vector>
 
 #include "core/ordering.hpp"
 #include "linalg/matrix.hpp"
 #include "svd/jacobi.hpp"
 
 namespace treesvd {
+
+class ThreadPool;
+
+/// Inner panel solver of the block driver.
+enum class InnerMode {
+  kElementwise,  ///< rotate full m-length columns pair by pair (historical)
+  kGram,         ///< solve the 2b x 2b Gram problem, apply one blocked update
+};
 
 struct BlockJacobiOptions {
   /// Columns per block (>= 1). The ordering runs over ceil(n/b) blocks
@@ -26,7 +49,13 @@ struct BlockJacobiOptions {
   SortMode sort = SortMode::kDescending;
   bool compute_v = true;
   double rank_tol = 1e-12;
-  /// Cached-norm fast path for the inner panel sweeps (see norm_cache.hpp).
+  /// Inner panel solver; see the header comment. kGram is the fast path,
+  /// kElementwise the bitwise-stable reference.
+  InnerMode inner_mode = InnerMode::kGram;
+  /// Cached-norm fast path for the kElementwise inner sweeps (see
+  /// norm_cache.hpp). Under kGram the cache is not consulted for decisions
+  /// (the fresh Gram matrix is), but it is kept coherent: the blocked apply
+  /// returns each updated column's squared norm from its own write pass.
   bool cache_norms = true;
   /// Full NormCache re-reduction every this many *outer* sweeps (<= 0
   /// disables the scheduled refresh).
@@ -38,5 +67,32 @@ struct BlockJacobiOptions {
 /// one_sided_jacobi; `sweeps` counts outer (block) sweeps.
 SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
                                  const BlockJacobiOptions& options = {});
+
+namespace detail {
+
+/// Per-encounter tallies of an inner panel solve.
+struct InnerPanelStats {
+  std::size_t rotations = 0;
+  std::size_t swaps = 0;
+};
+
+/// Elementwise inner pass: mutually orthogonalise the columns listed in
+/// `cols` (global column ids of h/v) with plain cyclic one-sided Jacobi,
+/// sort rule included. This is the pre-BLAS-3 code path, unchanged.
+InnerPanelStats inner_orthogonalise_elementwise(Matrix& h, Matrix* v,
+                                                const std::vector<int>& cols,
+                                                const BlockJacobiOptions& opt, NormCache* cache,
+                                                KernelCounters* plain_counters);
+
+/// Gram inner pass: one Gram build, cyclic Jacobi sweeps on the small
+/// problem accumulating rotations and sort-swaps into W, then at most one
+/// blocked P·W apply per panel (h, and v when non-null). Keeps `cache`
+/// coherent from the apply's fused norm reduction. `pool` (nullable) spreads
+/// the Gram build and the blocked applies over row chunks.
+InnerPanelStats inner_orthogonalise_gram(Matrix& h, Matrix* v, const std::vector<int>& cols,
+                                         const BlockJacobiOptions& opt, NormCache* cache,
+                                         KernelCounters& counters, ThreadPool* pool);
+
+}  // namespace detail
 
 }  // namespace treesvd

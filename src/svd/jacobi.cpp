@@ -48,11 +48,8 @@ SvdResult finalize(Matrix h, Matrix v, std::size_t orig_cols, const JacobiOption
 
   r.u = Matrix(h.rows(), n);
   for (std::size_t j = 0; j < n; ++j) {
-    if (r.sigma[j] > opt.rank_tol * smax && r.sigma[j] > 0.0) {
-      const auto src = h.col(j);
-      const auto dst = r.u.col(j);
-      for (std::size_t i = 0; i < h.rows(); ++i) dst[i] = src[i] / r.sigma[j];
-    }
+    if (r.sigma[j] > opt.rank_tol * smax && r.sigma[j] > 0.0)
+      copy_div(h.col(j), r.sigma[j], r.u.col(j));
   }
   if (opt.compute_v) {
     r.v = Matrix(n, n);

@@ -42,12 +42,24 @@ struct KernelStats {
   std::size_t rotate_passes = 0;   ///< rotation (or fused rotate+norms) passes
   std::size_t norm_refreshes = 0;  ///< single-column squared-norm re-reductions
 
+  // BLAS-3 Gram path of the block driver (block_jacobi.hpp, inner_mode ==
+  // kGram). These make the one-GEMM-per-encounter contract testable: every
+  // encounter forms exactly one Gram matrix, its inner rotations touch only
+  // the small problem, and at most one blocked apply per panel (H, and V
+  // when requested) reaches the m-length columns.
+  std::size_t gram_builds = 0;      ///< 2b x 2b panel Gram matrices formed
+  std::size_t accum_rotations = 0;  ///< rotations accumulated on the small problem
+  std::size_t blocked_applies = 0;  ///< P*W / V*W blocked panel applications
+
   KernelStats& operator+=(const KernelStats& o) noexcept {
     pairs += o.pairs;
     dot_passes += o.dot_passes;
     gram_passes += o.gram_passes;
     rotate_passes += o.rotate_passes;
     norm_refreshes += o.norm_refreshes;
+    gram_builds += o.gram_builds;
+    accum_rotations += o.accum_rotations;
+    blocked_applies += o.blocked_applies;
     return *this;
   }
 };
@@ -62,6 +74,11 @@ class KernelCounters {
   void add_norm_refresh(std::size_t k = 1) noexcept {
     refresh_.fetch_add(k, std::memory_order_relaxed);
   }
+  void add_gram_build() noexcept { gram_build_.fetch_add(1, std::memory_order_relaxed); }
+  void add_accum_rotations(std::size_t k) noexcept {
+    accum_rot_.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_blocked_apply() noexcept { blocked_apply_.fetch_add(1, std::memory_order_relaxed); }
 
   KernelStats snapshot() const noexcept {
     KernelStats s;
@@ -70,6 +87,9 @@ class KernelCounters {
     s.gram_passes = gram_.load(std::memory_order_relaxed);
     s.rotate_passes = rotate_.load(std::memory_order_relaxed);
     s.norm_refreshes = refresh_.load(std::memory_order_relaxed);
+    s.gram_builds = gram_build_.load(std::memory_order_relaxed);
+    s.accum_rotations = accum_rot_.load(std::memory_order_relaxed);
+    s.blocked_applies = blocked_apply_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -79,6 +99,9 @@ class KernelCounters {
   std::atomic<std::size_t> gram_{0};
   std::atomic<std::size_t> rotate_{0};
   std::atomic<std::size_t> refresh_{0};
+  std::atomic<std::size_t> gram_build_{0};
+  std::atomic<std::size_t> accum_rot_{0};
+  std::atomic<std::size_t> blocked_apply_{0};
 };
 
 /// Squared norms of a matrix's columns, kept current across rotations.

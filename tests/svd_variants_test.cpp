@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "linalg/generators.hpp"
@@ -96,6 +100,143 @@ TEST(BlockJacobiExtra, RejectsBadOptions) {
   opt.block_width = 0;
   EXPECT_THROW(block_one_sided_jacobi(a, *make_ordering("round-robin"), opt),
                std::invalid_argument);
+}
+
+TEST(BlockJacobiGram, AgreesWithElementwiseAcrossAllOrderings) {
+  // The Gram inner solver and the historical elementwise path must agree on
+  // the factorisation to numerical tolerance on every registered ordering.
+  Rng rng(820);
+  const Matrix a = random_gaussian(96, 32, rng);
+  const auto oracle = singular_values_oracle(a);
+  for (const auto& name : ordering_names({2, 4})) {
+    const auto ord = make_ordering(name);
+    BlockJacobiOptions gram;
+    gram.block_width = 4;
+    gram.inner_mode = InnerMode::kGram;
+    BlockJacobiOptions elem = gram;
+    elem.inner_mode = InnerMode::kElementwise;
+    const SvdResult rg = block_one_sided_jacobi(a, *ord, gram);
+    const SvdResult re = block_one_sided_jacobi(a, *ord, elem);
+    ASSERT_TRUE(rg.converged) << name;
+    ASSERT_TRUE(re.converged) << name;
+    const double smax = oracle[0];
+    for (std::size_t k = 0; k < oracle.size(); ++k) {
+      EXPECT_NEAR(rg.sigma[k], re.sigma[k], 1e-10 * smax) << name << " sigma[" << k << "]";
+      EXPECT_NEAR(rg.sigma[k], oracle[k], 1e-8 * smax) << name << " sigma[" << k << "]";
+    }
+    // Same order of magnitude on the quality measures.
+    const double dg = orthonormality_defect(rg.v);
+    const double de = orthonormality_defect(re.v);
+    EXPECT_LT(dg, 1e-11) << name;
+    EXPECT_LT(de, 1e-11) << name;
+    EXPECT_LT(reconstruction_error(a, rg.u, rg.sigma, rg.v) / a.frobenius_norm(), 1e-11) << name;
+  }
+}
+
+TEST(BlockJacobiGram, CountersShowOneGramOnePairOfAppliesPerEncounter) {
+  // The one-GEMM-per-encounter contract, via the kernel_stats counters: no
+  // pair kernels run at all under kGram, every encounter builds exactly one
+  // Gram matrix, and at most one blocked apply per panel (H and V) follows.
+  Rng rng(821);
+  const Matrix a = random_gaussian(80, 32, rng);
+  BlockJacobiOptions opt;
+  opt.block_width = 8;
+  const SvdResult r = block_one_sided_jacobi(a, *make_ordering("round-robin"), opt);
+  ASSERT_TRUE(r.converged);
+  const KernelStats& ks = r.kernel_stats;
+  EXPECT_EQ(ks.pairs, 0u);
+  EXPECT_EQ(ks.dot_passes, 0u);
+  EXPECT_EQ(ks.gram_passes, 0u);
+  EXPECT_EQ(ks.rotate_passes, 0u);
+  EXPECT_GT(ks.gram_builds, 0u);
+  EXPECT_EQ(ks.accum_rotations, r.rotations);
+  // compute_v: one H apply + one V apply per non-clean encounter, none for
+  // clean ones — so an even count bounded by twice the builds.
+  EXPECT_EQ(ks.blocked_applies % 2, 0u);
+  EXPECT_LE(ks.blocked_applies, 2 * ks.gram_builds);
+  EXPECT_GT(ks.blocked_applies, 0u);
+  // Encounters per outer sweep are fixed by the ordering: nb/2 pairs per
+  // step, nb-1 steps for round-robin over nb = 4 blocks.
+  EXPECT_EQ(ks.gram_builds % 6, 0u);
+
+  BlockJacobiOptions no_v = opt;
+  no_v.compute_v = false;
+  const SvdResult rn = block_one_sided_jacobi(a, *make_ordering("round-robin"), no_v);
+  EXPECT_LE(rn.kernel_stats.blocked_applies, rn.kernel_stats.gram_builds);
+}
+
+TEST(BlockJacobiGram, ElementwiseCountersUnchangedFromPairKernelLayer) {
+  // The retained elementwise path must still drive the cached pair kernel:
+  // one dot pass per pair, no gram passes, and none of the Gram-path
+  // counters may tick.
+  Rng rng(822);
+  const Matrix a = random_gaussian(48, 24, rng);
+  BlockJacobiOptions opt;
+  opt.block_width = 4;
+  opt.inner_mode = InnerMode::kElementwise;
+  const SvdResult r = block_one_sided_jacobi(a, *make_ordering("round-robin"), opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.kernel_stats.pairs, 0u);
+  EXPECT_EQ(r.kernel_stats.dot_passes, r.kernel_stats.pairs);
+  EXPECT_EQ(r.kernel_stats.gram_builds, 0u);
+  EXPECT_EQ(r.kernel_stats.accum_rotations, 0u);
+  EXPECT_EQ(r.kernel_stats.blocked_applies, 0u);
+}
+
+TEST(BlockJacobiGram, CacheNormsOffStillAgrees) {
+  Rng rng(823);
+  const Matrix a = random_gaussian(64, 24, rng);
+  BlockJacobiOptions with_cache;
+  with_cache.block_width = 4;
+  BlockJacobiOptions no_cache = with_cache;
+  no_cache.cache_norms = false;
+  const SvdResult rc = block_one_sided_jacobi(a, *make_ordering("fat-tree"), with_cache);
+  const SvdResult ru = block_one_sided_jacobi(a, *make_ordering("fat-tree"), no_cache);
+  ASSERT_TRUE(rc.converged);
+  ASSERT_TRUE(ru.converged);
+  for (std::size_t k = 0; k < rc.sigma.size(); ++k)
+    EXPECT_NEAR(rc.sigma[k], ru.sigma[k], 1e-12 * rc.sigma[0]);
+}
+
+TEST(BlockJacobiBlockCount, NonPowerOfTwoAndPaddedWidthsConverge) {
+  // Regression for the block-count search: widths that do not divide n and
+  // orderings that only support particular counts (fat-tree: powers of two)
+  // must land on a supported count within the documented bound and still
+  // produce the right factorisation.
+  Rng rng(824);
+  for (const auto& [n, width] : std::vector<std::pair<std::size_t, int>>{
+           {18, 4}, {18, 16}, {19, 5}, {10, 3}, {33, 8}}) {
+    const Matrix a = random_gaussian(2 * n + 5, n, rng);
+    const auto oracle = singular_values_oracle(a);
+    for (const char* name : {"round-robin", "fat-tree", "new-ring", "hybrid-g2"}) {
+      BlockJacobiOptions opt;
+      opt.block_width = width;
+      const SvdResult r = block_one_sided_jacobi(a, *make_ordering(name), opt);
+      ASSERT_TRUE(r.converged) << name << " n=" << n << " b=" << width;
+      ASSERT_EQ(r.sigma.size(), n);
+      for (std::size_t k = 0; k < oracle.size(); ++k)
+        EXPECT_NEAR(r.sigma[k], oracle[k], 1e-7 * (1.0 + oracle[0])) << name;
+    }
+  }
+}
+
+TEST(BlockJacobiBlockCount, UnsupportableCountThrowsWithPreciseRange) {
+  // hybrid-g16 needs a block count divisible into 16 groups; with n=8, b=4
+  // the search range [2, 8] holds no supported count. The error must name
+  // the ordering, the searched range, and the offending parameters.
+  Rng rng(825);
+  const Matrix a = random_gaussian(16, 8, rng);
+  BlockJacobiOptions opt;
+  opt.block_width = 4;
+  try {
+    block_one_sided_jacobi(a, *make_ordering("hybrid-g16"), opt);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("supports no block count in [2, 8]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n=8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("block_width=4"), std::string::npos) << msg;
+  }
 }
 
 TEST(Preconditioned, MatchesDirectJacobi) {
