@@ -1,0 +1,237 @@
+#pragma once
+// Deterministic fault model for the message-passing runtime.
+//
+// A FaultPlan is a *schedule*, not a dice roll: every per-message decision
+// (drop / duplicate / corrupt / delay) is a pure function of the message's
+// identity (src, dst, tag, sequence number, retry attempt) mixed with the
+// plan's seed. Two runs with the same plan therefore inject exactly the same
+// faults regardless of thread interleaving, and every RecoveryStats counter
+// is reproducible bit-for-bit. Rank kill/stall faults key off a rank's own
+// transport-operation counter, which is equally deterministic because each
+// rank's program is.
+//
+// The companion ReliableConfig turns on the reliable transport inside
+// mp::World: per-(src, dst, tag) sequence numbers, payload checksums,
+// receive deadlines with bounded retry and deterministic exponential backoff
+// (virtual time — the simulator never waits on a wall clock), NACK/resend
+// from the sender's clean retransmit store, and duplicate suppression. Under
+// any plan that stays below the retry budget the delivered payloads are the
+// clean ones, so a program's numerical results are bit-identical to its
+// fault-free run (chaos_recovery_test asserts this for the SPMD Jacobi).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace treesvd::mp {
+
+/// Seeded, fully deterministic fault schedule for a World.
+struct FaultPlan {
+  bool enabled = false;        ///< master switch; a default plan injects nothing
+  std::uint64_t seed = 1;      ///< mixes into every per-message decision
+
+  // Message faults (require the reliable transport; first match wins, so the
+  // probabilities are a partition of [0, 1) and at most one fault hits a
+  // given frame).
+  double drop_prob = 0.0;       ///< frame silently lost
+  double duplicate_prob = 0.0;  ///< frame delivered twice
+  double corrupt_prob = 0.0;    ///< one payload element bit-flipped or NaN'd
+  double delay_prob = 0.0;      ///< frame held past the receive deadline
+                                ///< (treated as lost; the late copy is
+                                ///< suppressed by its sequence number)
+  double resend_drop_prob = 0.0;  ///< loss applied to retransmissions too
+                                  ///< (exercises the bounded retry loop)
+
+  // Rank faults (usable with or without the reliable transport).
+  int kill_rank = -1;             ///< rank to kill once (-1 = never)
+  std::uint64_t kill_at_op = 0;   ///< fires at this 0-based transport op
+                                  ///< (send/recv/barrier/allreduce) of the rank
+  int stall_rank = -1;            ///< rank to stall (-1 = never)
+  std::uint64_t stall_at_op = 0;  ///< op at which the stall occurs
+  std::uint64_t stall_micros = 2000;  ///< bounded real-time stall length
+
+  bool has_message_faults() const noexcept {
+    return enabled && (drop_prob > 0.0 || duplicate_prob > 0.0 || corrupt_prob > 0.0 ||
+                       delay_prob > 0.0 || resend_drop_prob > 0.0);
+  }
+};
+
+/// Opt-in reliable transport layered over Context::send/recv.
+struct ReliableConfig {
+  bool enabled = false;
+  int max_retries = 8;      ///< recovery attempts per message before giving up
+  double deadline = 1.0;    ///< virtual-time units before the first retry
+  double backoff = 2.0;     ///< exponential backoff multiplier per attempt
+};
+
+/// Plain snapshot of every recovery counter (copyable, reported on
+/// SpmdStats/DistributedResult; the style of KernelStats).
+struct RecoveryStats {
+  // Injector side (what the chaos plan actually did).
+  std::size_t drops_seen = 0;            ///< frames lost (first sends + resends)
+  std::size_t duplicates_injected = 0;   ///< frames delivered twice
+  std::size_t corruptions_injected = 0;  ///< frames delivered with a flipped payload
+  std::size_t delays_seen = 0;           ///< frames held past the deadline
+  std::size_t kills = 0;                 ///< rank kills fired
+  std::size_t stalls = 0;                ///< rank stalls fired
+
+  // Transport side (what the reliable layer did about it).
+  std::size_t corruptions_detected = 0;   ///< checksum/NaN frames rejected at recv
+  std::size_t duplicates_suppressed = 0;  ///< stale frames discarded (live + purge)
+  std::size_t retries = 0;                ///< deadline expiries (recovery attempts)
+  std::size_t resends = 0;                ///< successful retransmissions
+  double virtual_backoff = 0.0;           ///< summed virtual backoff time
+
+  // Engine side (checkpoint/rollback/watchdog machinery).
+  std::size_t checkpoints = 0;        ///< sweep-boundary snapshots committed
+  std::size_t rollbacks = 0;          ///< replays from the last checkpoint
+  std::size_t watchdog_trips = 0;     ///< stagnation watchdog activations
+  std::size_t norm_rereductions = 0;  ///< payload-guard/watchdog norm re-reductions
+
+  RecoveryStats& operator+=(const RecoveryStats& o) noexcept {
+    drops_seen += o.drops_seen;
+    duplicates_injected += o.duplicates_injected;
+    corruptions_injected += o.corruptions_injected;
+    delays_seen += o.delays_seen;
+    kills += o.kills;
+    stalls += o.stalls;
+    corruptions_detected += o.corruptions_detected;
+    duplicates_suppressed += o.duplicates_suppressed;
+    retries += o.retries;
+    resends += o.resends;
+    virtual_backoff += o.virtual_backoff;
+    checkpoints += o.checkpoints;
+    rollbacks += o.rollbacks;
+    watchdog_trips += o.watchdog_trips;
+    norm_rereductions += o.norm_rereductions;
+    return *this;
+  }
+  bool operator==(const RecoveryStats&) const = default;
+};
+
+/// Relaxed-atomic counters shared by concurrent ranks; snapshot() into
+/// RecoveryStats (the KernelCounters idiom).
+class RecoveryCounters {
+ public:
+  void add_drop() noexcept { bump(drops_); }
+  void add_duplicate_injected() noexcept { bump(dups_injected_); }
+  void add_corruption_injected() noexcept { bump(corrupts_injected_); }
+  void add_delay() noexcept { bump(delays_); }
+  void add_kill() noexcept { bump(kills_); }
+  void add_stall() noexcept { bump(stalls_); }
+  void add_corruption_detected() noexcept { bump(corrupts_detected_); }
+  void add_duplicate_suppressed(std::size_t k = 1) noexcept {
+    dups_suppressed_.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_retry() noexcept { bump(retries_); }
+  void add_resend() noexcept { bump(resends_); }
+  void add_checkpoint() noexcept { bump(checkpoints_); }
+  void add_rollback() noexcept { bump(rollbacks_); }
+  void add_watchdog_trip() noexcept { bump(watchdog_trips_); }
+  void add_norm_rereduction(std::size_t k = 1) noexcept {
+    norm_rereductions_.fetch_add(k, std::memory_order_relaxed);
+  }
+  void add_virtual_backoff(double t) noexcept {
+    // CAS loop: fetch_add on atomic<double> is C++20 but patchy pre-GCC-12.
+    double cur = backoff_.load(std::memory_order_relaxed);
+    while (!backoff_.compare_exchange_weak(cur, cur + t, std::memory_order_relaxed)) {
+    }
+  }
+
+  RecoveryStats snapshot() const noexcept {
+    RecoveryStats s;
+    s.drops_seen = drops_.load(std::memory_order_relaxed);
+    s.duplicates_injected = dups_injected_.load(std::memory_order_relaxed);
+    s.corruptions_injected = corrupts_injected_.load(std::memory_order_relaxed);
+    s.delays_seen = delays_.load(std::memory_order_relaxed);
+    s.kills = kills_.load(std::memory_order_relaxed);
+    s.stalls = stalls_.load(std::memory_order_relaxed);
+    s.corruptions_detected = corrupts_detected_.load(std::memory_order_relaxed);
+    s.duplicates_suppressed = dups_suppressed_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.resends = resends_.load(std::memory_order_relaxed);
+    s.virtual_backoff = backoff_.load(std::memory_order_relaxed);
+    s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+    s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+    s.norm_rereductions = norm_rereductions_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static void bump(std::atomic<std::size_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t> drops_{0}, dups_injected_{0}, corrupts_injected_{0}, delays_{0},
+      kills_{0}, stalls_{0}, corrupts_detected_{0}, dups_suppressed_{0}, retries_{0}, resends_{0},
+      checkpoints_{0}, rollbacks_{0}, watchdog_trips_{0}, norm_rereductions_{0};
+  std::atomic<double> backoff_{0.0};
+};
+
+/// Thrown inside the killed rank's transport op; engines with checkpointing
+/// catch it, roll back, and replay.
+class RankKilledError : public std::runtime_error {
+ public:
+  RankKilledError(int rank, std::uint64_t op)
+      : std::runtime_error("mp: rank " + std::to_string(rank) + " killed by fault plan at op " +
+                           std::to_string(op)),
+        rank_(rank) {}
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Thrown by blocked transport ops on surviving ranks when the world aborts;
+/// a *secondary* failure — World::run never rethrows it while a primary
+/// (program) exception exists.
+class WorldAbortedError : public std::runtime_error {
+ public:
+  WorldAbortedError() : std::runtime_error("mp: world aborted by a failing rank") {}
+};
+
+/// Thrown when a message exhausts the reliable transport's retry budget.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What the injector decides to do with one freshly sent frame.
+enum class FaultAction { kDeliver, kDrop, kDuplicate, kCorrupt, kDelay };
+
+/// Stateless-per-message decision engine. Decisions hash the message
+/// identity with the plan seed, so they are independent of thread timing;
+/// the only mutable state is the one-shot kill latch (survives
+/// World::reset_for_replay so a replay proceeds past the kill).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Decision for a first transmission of (src, dst, tag, seq).
+  FaultAction action(int src, int dst, std::uint64_t tag, std::uint64_t seq) const;
+
+  /// Whether retransmission attempt `attempt` of the frame survives.
+  bool resend_survives(int src, int dst, std::uint64_t tag, std::uint64_t seq,
+                       int attempt) const;
+
+  /// Deterministically corrupts one element of `payload` (bit flip or NaN).
+  void corrupt_payload(std::vector<double>& payload, int src, int dst, std::uint64_t tag,
+                       std::uint64_t seq) const;
+
+  /// One-shot: true exactly once, for the planned (rank, op).
+  bool should_kill(int rank, std::uint64_t op);
+
+  /// True whenever (rank, op) matches the stall schedule.
+  bool should_stall(int rank, std::uint64_t op) const;
+
+ private:
+  FaultPlan plan_;
+  std::atomic<bool> kill_fired_{false};
+};
+
+}  // namespace treesvd::mp

@@ -9,11 +9,37 @@
 //
 // Semantics:
 //   * send(dst, tag, data) — asynchronous (buffered), never blocks.
+//                            dst must be a valid, different rank.
 //   * recv(src, tag)       — blocks until a matching message arrives;
 //                            messages from one src with one tag arrive in
-//                            send order.
+//                            send order. src must be a valid, different rank.
 //   * barrier()            — all ranks.
 //   * allreduce_sum(x)     — returns the sum over all ranks.
+//
+// Fault tolerance (opt-in, see mp/fault.hpp):
+//   * set_reliable(cfg) layers a reliable transport over send/recv: frames
+//     carry a per-(src, dst, tag) sequence number and a payload checksum;
+//     recv validates both, suppresses duplicates/stale frames, and when a
+//     frame is lost, delayed past the deadline, or corrupted it recovers the
+//     *clean* payload from the sender's retransmit store with bounded retry
+//     and deterministic exponential backoff (virtual time — the NACK/resend
+//     round-trips are accounted in RecoveryStats, never waited on a wall
+//     clock). Below the retry budget, delivered payloads are bit-identical
+//     to a fault-free run; beyond it recv throws TransportError.
+//   * set_fault_plan(plan) installs a seeded deterministic fault injector
+//     (drop/duplicate/corrupt/delay per message, kill/stall per rank); see
+//     FaultPlan. Message faults require the reliable transport.
+//   * When any rank's program throws, the world aborts — deterministically.
+//     A blocked recv gives up (WorldAbortedError, a secondary failure) only
+//     once its *source rank has finished*, never merely because the abort
+//     flag is up: a message that is still coming from a live peer is always
+//     waited for, so every surviving rank runs exactly its maximal
+//     deterministic prefix and the fault/recovery counters are reproducible
+//     bit-for-bit. Collectives throw on abort outright (a dead rank can
+//     never complete them). run() joins *all* ranks, then rethrows the
+//     lowest-rank primary exception. reset_for_replay() rearms an aborted
+//     world so an engine can roll back to a checkpoint and replay
+//     (svd/spmd.cpp does).
 
 #include <atomic>
 #include <condition_variable>
@@ -26,9 +52,12 @@
 #include <mutex>
 #include <vector>
 
+#include "mp/fault.hpp"
+
 namespace treesvd::mp {
 
-/// A message: raw doubles plus the sender's tag.
+/// A message: raw doubles (plus a 2-double [seq, checksum] header while a
+/// frame is in flight on the reliable transport).
 struct Packet {
   std::vector<double> data;
 };
@@ -41,10 +70,12 @@ class Context {
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
 
-  /// Buffered send; never blocks.
+  /// Buffered send; never blocks. Requires 0 <= dst < size() and dst != rank()
+  /// (send-to-self is a program bug: local state needs no mailbox).
   void send(int dst, std::uint64_t tag, std::vector<double> data);
 
   /// Blocking receive of the next message from `src` with `tag`.
+  /// Requires 0 <= src < size() and src != rank().
   std::vector<double> recv(int src, std::uint64_t tag);
 
   /// Synchronises all ranks.
@@ -56,8 +87,11 @@ class Context {
  private:
   friend class World;
   Context(World* world, int rank) : world_(world), rank_(rank) {}
+  /// Applies the fault plan's kill/stall schedule to this transport op.
+  void check_rank_faults();
   World* world_;
   int rank_;
+  std::uint64_t ops_ = 0;  ///< transport ops performed (kill/stall keying)
 };
 
 /// An SPMD world: constructs P mailboxes and runs a program on P threads.
@@ -68,25 +102,76 @@ class World {
   int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
 
   /// Runs program(ctx) on every rank concurrently; returns when all finish.
-  /// Exceptions thrown by any rank are rethrown (first one wins).
+  /// If ranks throw, every rank is joined first, then the exception from the
+  /// lowest failing rank is rethrown (documented tie-break: rank order, with
+  /// secondary WorldAbortedError unwindings surfaced only when no primary
+  /// program exception exists).
   void run(const std::function<void(Context&)>& program);
 
-  /// Total messages delivered since construction (for tests/stats).
+  /// Total logical messages sent since construction (for tests/stats); under
+  /// a fault plan this counts sends, whether or not the frame survived.
   std::size_t delivered() const noexcept { return delivered_.load(); }
+
+  /// Enables the reliable transport (call before run()).
+  void set_reliable(const ReliableConfig& config);
+
+  /// Installs a deterministic fault schedule (call before run()). Message
+  /// faults (drop/duplicate/corrupt/delay/resend-drop) require the reliable
+  /// transport to be enabled first.
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Snapshot of every transport/recovery counter.
+  RecoveryStats recovery_stats() const noexcept { return counters_.snapshot(); }
+
+  /// Shared counters — engines add their checkpoint/rollback/watchdog events
+  /// here so one snapshot covers the whole recovery story.
+  RecoveryCounters& recovery_counters() noexcept { return counters_; }
+
+  /// True once a rank failure has aborted the world (cleared by
+  /// reset_for_replay).
+  bool aborted() const noexcept { return aborted_.load(std::memory_order_acquire); }
+
+  /// Rearms an aborted world for a checkpoint replay: clears all mailboxes,
+  /// in-flight frames, sequence state and collective state. Cumulative
+  /// statistics and the one-shot kill latch persist, so a replay proceeds
+  /// past the kill and keeps the full fault history. Only call between
+  /// run()s.
+  void reset_for_replay();
+
+  /// After a completed run under the reliable transport: discards leftover
+  /// frames (suppressed duplicates and delayed stragglers), accounting them
+  /// in RecoveryStats::duplicates_suppressed, and releases the retransmit
+  /// store. Only call between run()s.
+  void purge_leftovers();
 
  private:
   friend class Context;
 
+  using Key = std::pair<int, std::uint64_t>;  ///< (src, tag)
+
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    // key: (src, tag)
-    std::map<std::pair<int, std::uint64_t>, std::deque<Packet>> queues;
+    /// This rank's thread has exited (normally or by exception). Receivers
+    /// blocked on this rank as a *source* use it to decide, deterministically,
+    /// that the expected message can never arrive.
+    std::atomic<bool> finished{false};
+    std::map<Key, std::deque<Packet>> queues;
+    // Reliable-transport state (guarded by mu).
+    std::map<Key, std::uint64_t> send_seq;  ///< sender side: next seq to assign
+    std::map<Key, std::uint64_t> next_seq;  ///< receiver side: next expected seq
+    std::map<Key, std::map<std::uint64_t, std::vector<double>>> store;  ///< clean copies
   };
 
   void deliver(int dst, int src, std::uint64_t tag, std::vector<double> data);
   std::vector<double> take(int rank, int src, std::uint64_t tag);
+  /// Recovers the clean payload for `seq` from the retransmit store with
+  /// bounded retry; caller holds box.mu. Throws TransportError past budget.
+  std::vector<double> recover_locked(Mailbox& box, const Key& key, std::uint64_t seq, int src,
+                                     int dst, std::uint64_t tag);
   void barrier_wait();
+  /// Wakes every blocked rank with WorldAbortedError (idempotent).
+  void abort_world() noexcept;
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
@@ -99,6 +184,12 @@ class World {
   double reduce_result_ = 0.0;
 
   std::atomic<std::size_t> delivered_{0};
+
+  // Fault tolerance.
+  ReliableConfig reliable_;
+  std::unique_ptr<FaultInjector> injector_;
+  RecoveryCounters counters_;
+  std::atomic<bool> aborted_{false};
 };
 
 }  // namespace treesvd::mp

@@ -16,10 +16,12 @@
 
 #include "core/ordering.hpp"
 #include "linalg/matrix.hpp"
+#include "mp/fault.hpp"
 #include "network/topology.hpp"
 #include "network/traffic.hpp"
 #include "sim/machine.hpp"
 #include "svd/jacobi.hpp"
+#include "svd/recovery.hpp"
 
 namespace treesvd {
 
@@ -30,6 +32,24 @@ struct DistributedResult {
   SweepCost cost;         ///< accumulated over all executed sweeps
   std::size_t delivered_messages = 0;
   double delivered_words = 0.0;
+  mp::RecoveryStats recovery;  ///< fault/checkpoint counters (chaos runs only)
+};
+
+/// Chaos configuration for the step-synchronous machine. The simulator has
+/// no real transport underneath it, so only the faults that make sense for a
+/// barrier-synchronous exchange are honoured:
+///  * corrupt_prob — a routed column's cached squared norm arrives as NaN
+///    (requires cache_norms; the payload guard repairs it by re-reduction,
+///    which is numerically sound but not bitwise: a fresh sumsq differs in
+///    ulps from the fused-kernel value that travelled).
+///  * kill_rank / kill_at_op — the machine dies at that 0-based executed
+///    communication step; with checkpointing the run rolls back to the last
+///    sweep boundary and replays bit-identically.
+/// Any drop / duplicate / delay / resend probability is rejected — those
+/// need the real message transport (use spmd_jacobi with SpmdTransport).
+struct DistributedChaos {
+  mp::FaultPlan faults;
+  RecoveryOptions recovery;
 };
 
 /// Executes the one-sided Jacobi SVD on a simulated distributed tree machine.
@@ -47,6 +67,7 @@ struct DistributedResult {
 DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
                                      const FatTreeTopology& topology,
                                      const JacobiOptions& options = {},
-                                     const CostParams& params = {});
+                                     const CostParams& params = {},
+                                     const DistributedChaos* chaos = nullptr);
 
 }  // namespace treesvd

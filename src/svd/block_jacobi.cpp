@@ -8,6 +8,7 @@
 #include "linalg/gemm.hpp"
 #include "linalg/rotation.hpp"
 #include "svd/pair_kernel.hpp"
+#include "svd/recovery.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
 
@@ -148,6 +149,7 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
                                  const BlockJacobiOptions& options) {
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "block_one_sided_jacobi expects m >= n >= 2");
+  require_finite_columns(a, "block_one_sided_jacobi");
   TREESVD_REQUIRE(options.block_width >= 1, "block width must be >= 1");
   TREESVD_REQUIRE(options.inner_sweeps >= 1, "need at least one inner sweep");
 

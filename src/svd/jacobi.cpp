@@ -9,6 +9,7 @@
 #include "linalg/blas1.hpp"
 #include "linalg/rotation.hpp"
 #include "svd/pair_kernel.hpp"
+#include "svd/recovery.hpp"
 #include "util/require.hpp"
 
 namespace treesvd {
@@ -123,6 +124,7 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
                            const JacobiOptions& options) {
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "one_sided_jacobi expects m >= n >= 2");
+  require_finite_columns(a, "one_sided_jacobi");
   int padded_n = 0;
   Matrix h = pad_columns(a, ordering, &padded_n);
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(padded_n)) : Matrix();
@@ -177,6 +179,7 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
                                     const JacobiOptions& options, unsigned threads) {
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "one_sided_jacobi_threaded expects m >= n >= 2");
+  require_finite_columns(a, "one_sided_jacobi_threaded");
   int padded_n = 0;
   Matrix h = pad_columns(a, ordering, &padded_n);
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(padded_n)) : Matrix();
@@ -236,6 +239,7 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
 SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "cyclic_jacobi expects m >= n >= 2");
+  require_finite_columns(a, "cyclic_jacobi");
   const int n = static_cast<int>(a.cols());
   Matrix h = a;
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(n)) : Matrix();

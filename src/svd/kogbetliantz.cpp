@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "svd/recovery.hpp"
 #include "util/require.hpp"
 
 namespace treesvd {
@@ -51,6 +52,7 @@ KogbetliantzResult kogbetliantz_svd(const Matrix& a, const Ordering& ordering,
                                     const KogbetliantzOptions& options) {
   TREESVD_REQUIRE(a.rows() == a.cols() && a.rows() >= 2,
                   "kogbetliantz_svd needs a square matrix (QR-reduce tall inputs first)");
+  require_finite_columns(a, "kogbetliantz_svd");
   const std::size_t n0 = a.rows();
   int padded = 0;
   for (int w = static_cast<int>(n0); w <= 2 * static_cast<int>(n0) + 4; ++w) {

@@ -80,6 +80,19 @@ class KernelCounters {
   }
   void add_blocked_apply() noexcept { blocked_apply_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Overwrites every counter from a snapshot — checkpoint restore in the
+  /// fault-tolerant drivers. Not safe concurrently with ticking kernels.
+  void store(const KernelStats& s) noexcept {
+    pairs_.store(s.pairs, std::memory_order_relaxed);
+    dot_.store(s.dot_passes, std::memory_order_relaxed);
+    gram_.store(s.gram_passes, std::memory_order_relaxed);
+    rotate_.store(s.rotate_passes, std::memory_order_relaxed);
+    refresh_.store(s.norm_refreshes, std::memory_order_relaxed);
+    gram_build_.store(s.gram_builds, std::memory_order_relaxed);
+    accum_rot_.store(s.accum_rotations, std::memory_order_relaxed);
+    blocked_apply_.store(s.blocked_applies, std::memory_order_relaxed);
+  }
+
   KernelStats snapshot() const noexcept {
     KernelStats s;
     s.pairs = pairs_.load(std::memory_order_relaxed);

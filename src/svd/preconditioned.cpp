@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/qr.hpp"
+#include "svd/recovery.hpp"
 #include "util/require.hpp"
 
 namespace treesvd {
@@ -11,6 +12,7 @@ SvdResult qr_preconditioned_jacobi(const Matrix& a, const Ordering& ordering,
                                    const JacobiOptions& options) {
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "qr_preconditioned_jacobi expects m >= n >= 2");
+  require_finite_columns(a, "qr_preconditioned_jacobi");
   const HouseholderQr qr(a);
   const Matrix r_factor = qr.r();
 

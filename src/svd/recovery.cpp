@@ -1,0 +1,33 @@
+#include "svd/recovery.hpp"
+
+#include <stdexcept>
+
+namespace treesvd {
+
+void require_finite_columns(const Matrix& a, const std::string& engine) {
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    const auto col = a.col(j);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      if (!std::isfinite(col[i])) {
+        throw std::invalid_argument(engine + ": input column " + std::to_string(j) +
+                                    " contains a non-finite value (" +
+                                    (std::isnan(col[i]) ? "NaN" : "Inf") + " at row " +
+                                    std::to_string(i) + ")");
+      }
+    }
+  }
+}
+
+void require_finite_payload(std::span<const double> column, int column_label,
+                            const std::string& engine) {
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    if (!std::isfinite(column[i])) {
+      throw std::invalid_argument(engine + ": column " + std::to_string(column_label) +
+                                  " carries a non-finite value (" +
+                                  (std::isnan(column[i]) ? "NaN" : "Inf") + " at row " +
+                                  std::to_string(i) + ")");
+    }
+  }
+}
+
+}  // namespace treesvd

@@ -1,0 +1,91 @@
+#pragma once
+// Engine-side fault tolerance shared by the SPMD Jacobi (svd/spmd.hpp) and
+// the distributed tree machine (sim/distributed.hpp): sweep-boundary
+// checkpointing with rollback/replay, a convergence watchdog, and the
+// non-finite payload guards.
+//
+// Determinism rules (the contracts chaos_recovery_test pins down):
+//  * Checkpoints snapshot column ownership, column payloads, cached norms
+//    and progress counters at sweep boundaries. A rollback restores the
+//    latest checkpoint *every* participant has committed and replays from
+//    there; because the engines are deterministic, the replay is
+//    bit-identical to the run the fault interrupted.
+//  * The watchdog trips when the sweep activity measure (rotations + swaps,
+//    the quantity whose zero defines convergence) fails to decrease across
+//    `watchdog_sweeps` consecutive sweeps; a trip forces a full norm
+//    re-reduction (the only repairable source of stagnation) instead of
+//    letting drift propagate silently. Trips are counted, never fatal —
+//    max_sweeps still bounds the iteration.
+//  * Payload guards: a non-finite (or negative) cached norm arriving with a
+//    column is repaired by re-reducing the column (counted as a
+//    norm_rereduction); non-finite column *data* is unrepairable and throws
+//    naming the offending column.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "mp/fault.hpp"
+
+namespace treesvd {
+
+/// Knobs for the checkpoint/rollback/watchdog machinery.
+struct RecoveryOptions {
+  /// Snapshot cadence in sweeps (1 = every sweep boundary; 0 disables
+  /// checkpointing, so a rank kill is fatal).
+  int checkpoint_sweeps = 1;
+  /// Rollback budget: replays attempted before the failure is rethrown.
+  int max_rollbacks = 8;
+  /// Stagnation window: 0 disables the watchdog.
+  int watchdog_sweeps = 0;
+};
+
+/// Tracks the per-sweep activity measure and decides watchdog trips.
+/// Deterministic: feed it the (collectively agreed) activity once per sweep.
+class ConvergenceWatchdog {
+ public:
+  explicit ConvergenceWatchdog(int window) : window_(window) {}
+
+  /// Returns true when the activity has not decreased for `window`
+  /// consecutive sweeps (and is still nonzero); the caller should re-reduce
+  /// its norms and reset() the window.
+  bool observe(double activity) {
+    if (window_ <= 0) return false;
+    const bool stalled = activity > 0.0 && has_prev_ && activity >= prev_;
+    prev_ = activity;
+    has_prev_ = true;
+    stall_count_ = stalled ? stall_count_ + 1 : 0;
+    return stall_count_ >= window_;
+  }
+
+  void reset() noexcept {
+    stall_count_ = 0;
+    has_prev_ = false;
+  }
+
+ private:
+  int window_;
+  int stall_count_ = 0;
+  double prev_ = 0.0;
+  bool has_prev_ = false;
+};
+
+/// Fast-fail input guard: throws std::invalid_argument naming the first
+/// column that contains a NaN or Inf entry. Every SVD engine calls this up
+/// front, so poisoned inputs fail precisely instead of iterating to
+/// max_sweeps on IEEE-propagated garbage.
+void require_finite_columns(const Matrix& a, const std::string& engine);
+
+/// Payload guard for a column in flight (see determinism rules above):
+/// throws std::invalid_argument naming `column` if any entry is non-finite.
+void require_finite_payload(std::span<const double> column, int column_label,
+                            const std::string& engine);
+
+/// True when a cached squared norm is trustworthy: finite and non-negative.
+inline bool cached_norm_plausible(double hsq) noexcept {
+  return std::isfinite(hsq) && hsq >= 0.0;
+}
+
+}  // namespace treesvd

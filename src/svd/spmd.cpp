@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <vector>
 
 #include "linalg/blas1.hpp"
 #include "mp/message_passing.hpp"
@@ -27,11 +28,24 @@ struct SlotState {
   std::vector<double> v;        ///< column of V (empty when not tracked)
 };
 
+/// One rank's sweep-boundary snapshot: everything needed to replay the run
+/// bit-identically from the sweep it names.
+struct RankCheckpoint {
+  int sweep = -1;               ///< the sweep this state is about to execute
+  SlotState slot[2];
+  std::vector<int> layout;      ///< the sweep's opening layout (global)
+  std::size_t rot = 0;          ///< rotations accumulated so far
+  std::size_t swap = 0;         ///< swaps accumulated so far
+  KernelStats kernels;          ///< this rank's kernel counters at the boundary
+  ConvergenceWatchdog watchdog{0};
+};
+
 }  // namespace
 
 SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOptions& options,
-                      SpmdStats* stats) {
+                      SpmdStats* stats, const SpmdTransport* transport) {
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2, "spmd_jacobi expects m >= n >= 2");
+  require_finite_columns(a, "spmd_jacobi");
   const int n0 = static_cast<int>(a.cols());
   int n = 0;
   for (int w = n0; w <= 2 * n0 + 4; ++w) {
@@ -44,6 +58,17 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   const std::size_t rows = a.rows();
   const int ranks = n / 2;
 
+  const RecoveryOptions recovery = transport != nullptr ? transport->recovery : RecoveryOptions{};
+  const bool chaos = transport != nullptr;
+  const bool checkpointing = chaos && recovery.checkpoint_sweeps > 0;
+
+  mp::World world(ranks);
+  if (chaos) {
+    if (transport->reliable.enabled) world.set_reliable(transport->reliable);
+    if (transport->faults.enabled) world.set_fault_plan(transport->faults);
+  }
+  mp::RecoveryCounters& rc = world.recovery_counters();
+
   // Shared result surfaces; each slot is written by exactly one rank after
   // the last sweep, so no synchronisation is needed beyond the thread join.
   std::vector<SlotState> final_slots(static_cast<std::size_t>(n));
@@ -52,39 +77,87 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   std::size_t total_swaps = 0;
   bool converged = false;
   std::mutex totals_mu;
-  KernelCounters counters;  // shared, relaxed-atomic: safe across ranks
+  // Per-rank kernel counters: checkpointable (a shared set could not be
+  // rolled back to a boundary while other ranks race ahead); the final
+  // kernel_stats is their sum, identical to the shared-counter total.
+  std::vector<KernelCounters> rank_counters(static_cast<std::size_t>(ranks));
 
-  mp::World world(ranks);
-  world.run([&](mp::Context& ctx) {
+  // Checkpoint store: ring of the last two boundary snapshots per rank
+  // (ranks drift by at most one boundary — the per-sweep allreduce means no
+  // rank enters sweep k+1 until every rank has arrived at the end of sweep
+  // k — so the newest boundary *all* ranks committed is always in the ring).
+  std::vector<std::vector<RankCheckpoint>> checkpoints(static_cast<std::size_t>(ranks));
+  int restore_sweep = -1;  // < 0: fresh start from the input matrix
+
+  const auto program = [&](mp::Context& ctx) {
     const int me = ctx.rank();
+    KernelCounters& counters = rank_counters[static_cast<std::size_t>(me)];
     // Local state: this rank's two slots.
     SlotState slot[2];
-    for (int k = 0; k < 2; ++k) {
-      const int s = 2 * me + k;
-      slot[k].label = s;
-      slot[k].h.assign(rows, 0.0);
-      if (s < n0) {
-        const auto src = a.col(static_cast<std::size_t>(s));
-        std::copy(src.begin(), src.end(), slot[k].h.begin());
-      }
-      if (options.compute_v) {
-        slot[k].v.assign(static_cast<std::size_t>(n), 0.0);
-        slot[k].v[static_cast<std::size_t>(s)] = 1.0;
-      }
-      slot[k].hsq = sumsq(slot[k].h);
-    }
-    counters.add_norm_refresh(2);
-
-    // Every rank derives the identical schedule (SPMD-style replicated
-    // control); the layout evolves deterministically between sweeps.
     std::vector<int> layout(static_cast<std::size_t>(n));
-    for (int i = 0; i < n; ++i) layout[static_cast<std::size_t>(i)] = i;
-
+    ConvergenceWatchdog watchdog(recovery.watchdog_sweeps);
     int sweep = 0;
-    bool done = false;
     std::size_t my_rot = 0;
     std::size_t my_swap = 0;
+    if (restore_sweep < 0) {
+      for (int k = 0; k < 2; ++k) {
+        const int s = 2 * me + k;
+        slot[k].label = s;
+        slot[k].h.assign(rows, 0.0);
+        if (s < n0) {
+          const auto src = a.col(static_cast<std::size_t>(s));
+          std::copy(src.begin(), src.end(), slot[k].h.begin());
+        }
+        if (options.compute_v) {
+          slot[k].v.assign(static_cast<std::size_t>(n), 0.0);
+          slot[k].v[static_cast<std::size_t>(s)] = 1.0;
+        }
+        slot[k].hsq = sumsq(slot[k].h);
+      }
+      counters.add_norm_refresh(2);
+      // Every rank derives the identical schedule (SPMD-style replicated
+      // control); the layout evolves deterministically between sweeps.
+      for (int i = 0; i < n; ++i) layout[static_cast<std::size_t>(i)] = i;
+    } else {
+      // Respawn: resume from the newest boundary every rank committed.
+      const auto& ring = checkpoints[static_cast<std::size_t>(me)];
+      const RankCheckpoint* cp = nullptr;
+      for (const RankCheckpoint& c : ring)
+        if (c.sweep == restore_sweep) cp = &c;
+      TREESVD_ASSERT(cp != nullptr);
+      slot[0] = cp->slot[0];
+      slot[1] = cp->slot[1];
+      layout = cp->layout;
+      sweep = cp->sweep;
+      my_rot = cp->rot;
+      my_swap = cp->swap;
+      counters.store(cp->kernels);
+      watchdog = cp->watchdog;
+    }
+
+    bool done = false;
     for (; sweep < options.max_sweeps && !done; ++sweep) {
+      // Sweep-boundary checkpoint, before any of this sweep's work, so a
+      // replay re-executes the boundary's norm refresh identically. A rank
+      // that already holds this boundary (rolled back past it) skips the
+      // push — the deterministic replay would recreate the same bytes.
+      if (checkpointing && sweep % recovery.checkpoint_sweeps == 0) {
+        auto& ring = checkpoints[static_cast<std::size_t>(me)];
+        if (ring.empty() || ring.back().sweep < sweep) {
+          RankCheckpoint cp;
+          cp.sweep = sweep;
+          cp.slot[0] = slot[0];
+          cp.slot[1] = slot[1];
+          cp.layout = layout;
+          cp.rot = my_rot;
+          cp.swap = my_swap;
+          cp.kernels = counters.snapshot();
+          cp.watchdog = watchdog;
+          ring.push_back(std::move(cp));
+          if (ring.size() > 2) ring.erase(ring.begin());
+          if (me == 0) rc.add_checkpoint();
+        }
+      }
       // Scheduled drift control, mirroring the shared-memory drivers: each
       // rank re-reduces its resident columns.
       if (options.cache_norms && sweep > 0 && options.norm_recompute_sweeps > 0 &&
@@ -178,6 +251,17 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
             if (options.compute_v)
               next[k].v.assign(payload.begin() + 2 + static_cast<std::ptrdiff_t>(rows),
                                payload.end());
+            if (chaos) {
+              // Payload guards. A corrupted cached norm is repairable by
+              // re-reducing the column it arrived with; non-finite column
+              // data is not, and fails fast naming the column.
+              require_finite_payload(next[k].h, next[k].label, "spmd_jacobi");
+              if (options.cache_norms && !cached_norm_plausible(next[k].hsq)) {
+                next[k].hsq = sumsq(next[k].h);
+                counters.add_norm_refresh();
+                rc.add_norm_rereduction();
+              }
+            }
           }
         }
         slot[0] = std::move(next[0]);
@@ -190,6 +274,20 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       my_rot += sweep_rot;
       my_swap += sweep_swap;
       if (active == 0.0) done = true;
+      // Stagnation watchdog: the collectively agreed activity measure has
+      // stopped decreasing — re-reduce the cached norms (the only repairable
+      // stagnation source) instead of letting drift propagate. Every rank
+      // observes the same activity, so the trip is replicated control, not
+      // a new collective.
+      if (!done && watchdog.observe(active)) {
+        if (options.cache_norms) {
+          for (auto& sl : slot) sl.hsq = sumsq(sl.h);
+          counters.add_norm_refresh(2);
+          rc.add_norm_rereduction(2);
+        }
+        if (me == 0) rc.add_watchdog_trip();
+        watchdog.reset();
+      }
     }
 
     // Publish: each rank owns its two slots of the final state.
@@ -201,9 +299,37 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       final_sweeps = sweep;
       converged = done;
     }
-  });
+  };
 
-  if (stats != nullptr) stats->messages = world.delivered();
+  // Recovery loop: a killed rank is respawned by rolling the whole world
+  // back to the newest checkpoint every rank committed and replaying — the
+  // engine is deterministic, so the replay is bit-identical to the run the
+  // kill interrupted. Transport-budget exhaustion and program errors are
+  // not recoverable and propagate.
+  for (;;) {
+    try {
+      world.run(program);
+      break;
+    } catch (const mp::RankKilledError&) {
+      if (!checkpointing) throw;
+      int newest_common = -1;
+      for (const auto& ring : checkpoints) {
+        TREESVD_ASSERT(!ring.empty());
+        const int newest = ring.back().sweep;
+        newest_common = newest_common < 0 ? newest : std::min(newest_common, newest);
+      }
+      if (rc.snapshot().rollbacks >= static_cast<std::size_t>(recovery.max_rollbacks)) throw;
+      rc.add_rollback();
+      restore_sweep = newest_common;
+      world.reset_for_replay();
+    }
+  }
+  if (chaos && transport->reliable.enabled) world.purge_leftovers();
+
+  if (stats != nullptr) {
+    stats->messages = world.delivered();
+    stats->recovery = world.recovery_stats();
+  }
 
   // Assemble the result by label, exactly like the other engines.
   SvdResult r;
@@ -211,7 +337,9 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   r.converged = converged;
   r.rotations = total_rotations;
   r.swaps = total_swaps;
-  r.kernel_stats = counters.snapshot();
+  KernelStats kernels;
+  for (const KernelCounters& c : rank_counters) kernels += c.snapshot();
+  r.kernel_stats = kernels;
 
   std::vector<const SlotState*> by_label(static_cast<std::size_t>(n), nullptr);
   for (const SlotState& s : final_slots) by_label[static_cast<std::size_t>(s.label)] = &s;

@@ -27,6 +27,7 @@
 #include "linalg/qr.hpp"         // IWYU pragma: export
 #include "linalg/rotation.hpp"   // IWYU pragma: export
 #include "linalg/symmetric_eigen.hpp"  // IWYU pragma: export
+#include "mp/fault.hpp"          // IWYU pragma: export
 #include "mp/message_passing.hpp"  // IWYU pragma: export
 #include "network/topology.hpp"  // IWYU pragma: export
 #include "network/traffic.hpp"   // IWYU pragma: export
@@ -37,6 +38,7 @@
 #include "svd/jacobi.hpp"        // IWYU pragma: export
 #include "svd/kogbetliantz.hpp"  // IWYU pragma: export
 #include "svd/preconditioned.hpp"  // IWYU pragma: export
+#include "svd/recovery.hpp"      // IWYU pragma: export
 #include "svd/spmd.hpp"          // IWYU pragma: export
 #include "util/cli.hpp"          // IWYU pragma: export
 #include "util/rng.hpp"          // IWYU pragma: export

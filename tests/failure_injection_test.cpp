@@ -3,6 +3,7 @@
 // accept it.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "treesvd.hpp"
@@ -111,6 +112,60 @@ TEST(FailureInjection, MessagePassingChecks) {
                  if (ctx.rank() == 0) ctx.send(5, 0, {1.0});  // bad destination
                }),
                std::invalid_argument);
+}
+
+TEST(FailureInjection, FaultPlanValidation) {
+  // Message faults without the reliable transport are rejected up front —
+  // nothing would recover the injected losses.
+  {
+    mp::World world(2);
+    mp::FaultPlan plan;
+    plan.enabled = true;
+    plan.drop_prob = 0.1;
+    EXPECT_THROW(world.set_fault_plan(plan), std::invalid_argument);
+  }
+  // Probabilities must be sane individually and as a partition of [0, 1).
+  {
+    mp::World world(2);
+    world.set_reliable({.enabled = true});
+    mp::FaultPlan plan;
+    plan.enabled = true;
+    plan.drop_prob = -0.1;
+    EXPECT_THROW(world.set_fault_plan(plan), std::invalid_argument);
+    plan.drop_prob = 0.7;
+    plan.duplicate_prob = 0.5;  // sums past 1
+    EXPECT_THROW(world.set_fault_plan(plan), std::invalid_argument);
+  }
+  // Rank-fault targets must exist in this world.
+  {
+    mp::World world(2);
+    mp::FaultPlan plan;
+    plan.enabled = true;
+    plan.kill_rank = 7;
+    EXPECT_THROW(world.set_fault_plan(plan), std::invalid_argument);
+    plan.kill_rank = -1;
+    plan.stall_rank = 2;
+    EXPECT_THROW(world.set_fault_plan(plan), std::invalid_argument);
+  }
+  // Reliable-transport knobs are validated too.
+  {
+    mp::World world(2);
+    EXPECT_THROW(world.set_reliable({.enabled = true, .max_retries = 0}), std::invalid_argument);
+    EXPECT_THROW(world.set_reliable({.enabled = true, .deadline = 0.0}), std::invalid_argument);
+    EXPECT_THROW(world.set_reliable({.enabled = true, .backoff = 0.5}), std::invalid_argument);
+  }
+}
+
+TEST(FailureInjection, RecoveryGuardChecks) {
+  Rng rng(5);
+  Matrix a = random_gaussian(8, 4, rng);
+  a(2, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(require_finite_columns(a, "engine"), std::invalid_argument);
+  const std::vector<double> poisoned = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(require_finite_payload(poisoned, 3, "engine"), std::invalid_argument);
+  EXPECT_FALSE(cached_norm_plausible(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(cached_norm_plausible(-1.0));
+  EXPECT_TRUE(cached_norm_plausible(0.0));
 }
 
 TEST(FailureInjection, GeneratorChecks) {

@@ -107,6 +107,108 @@ TEST(MpStress, AllreduceUnderTrafficIsExact) {
   });
 }
 
+// --- Chaos section: the reliable transport under a hostile fault plan, with
+// --- many ranks contending. TSan runs this binary, so these interleavings
+// --- also prove the injector/recovery paths race-free.
+
+TEST(MpStressChaos, ReliableAllToAllUnderFaultsDeliversCleanPayloads) {
+  // Fixed tag per (src, dst) stream so sequence numbers climb and drops,
+  // duplicates, corruption and delays all land mid-stream. Every payload
+  // must still arrive exactly once, in order, bit-clean — and the recovery
+  // counters must come out identical on every run of the same seed.
+  const int ranks = 6;
+  const int rounds = 25;
+  mp::RecoveryStats first;
+  for (int run = 0; run < 3; ++run) {
+    mp::World world(ranks);
+    world.set_reliable({.enabled = true, .max_retries = 10});
+    mp::FaultPlan plan;
+    plan.enabled = true;
+    plan.seed = 99;
+    plan.drop_prob = 0.12;
+    plan.duplicate_prob = 0.08;
+    plan.corrupt_prob = 0.06;
+    plan.delay_prob = 0.05;
+    world.set_fault_plan(plan);
+    world.run([&](mp::Context& ctx) {
+      const int me = ctx.rank();
+      for (int round = 0; round < rounds; ++round) {
+        for (int dst = 0; dst < ranks; ++dst)
+          if (dst != me) ctx.send(dst, 5, {encode(me, round, 0), static_cast<double>(round)});
+        for (int src = 0; src < ranks; ++src) {
+          if (src == me) continue;
+          const auto msg = ctx.recv(src, 5);
+          ASSERT_EQ(msg.size(), 2u);
+          EXPECT_DOUBLE_EQ(msg[0], encode(src, round, 0));
+          EXPECT_DOUBLE_EQ(msg[1], static_cast<double>(round));
+        }
+      }
+    });
+    world.purge_leftovers();
+    const mp::RecoveryStats stats = world.recovery_stats();
+    if (run == 0) {
+      first = stats;
+      EXPECT_GT(stats.drops_seen, 0u);
+      EXPECT_GT(stats.duplicates_injected, 0u);
+      EXPECT_GT(stats.corruptions_injected, 0u);
+      EXPECT_EQ(stats.corruptions_detected, stats.corruptions_injected);
+      EXPECT_GT(stats.delays_seen, 0u);
+      EXPECT_GT(stats.retries, 0u);
+      EXPECT_GT(stats.resends, 0u);
+      // Every injected duplicate is eventually suppressed (live or purged):
+      // this program receives every message, so nothing else is left over.
+      EXPECT_EQ(stats.duplicates_suppressed, stats.duplicates_injected);
+    } else {
+      EXPECT_TRUE(stats == first);
+    }
+  }
+}
+
+TEST(MpStressChaos, KillUnderLoadAbortsDeterministically) {
+  // A rank dies mid-traffic; the world must join everyone and surface the
+  // RankKilledError, never hang — under dense mailbox contention.
+  const int ranks = 6;
+  mp::World world(ranks);
+  mp::FaultPlan plan;
+  plan.enabled = true;
+  plan.kill_rank = 3;
+  plan.kill_at_op = 40;
+  world.set_fault_plan(plan);
+  EXPECT_THROW(world.run([&](mp::Context& ctx) {
+                 const int me = ctx.rank();
+                 const int dst = (me + 1) % ranks;
+                 const int src = (me + ranks - 1) % ranks;
+                 for (int round = 0; round < 100; ++round) {
+                   ctx.send(dst, static_cast<std::uint64_t>(round), {encode(me, round, 0)});
+                   const auto msg = ctx.recv(src, static_cast<std::uint64_t>(round));
+                   EXPECT_DOUBLE_EQ(msg[0], encode(src, round, 0));
+                 }
+               }),
+               mp::RankKilledError);
+  EXPECT_TRUE(world.aborted());
+  EXPECT_EQ(world.recovery_stats().kills, 1u);
+}
+
+TEST(MpStressChaos, StallDelaysButNeverChangesResults) {
+  const int ranks = 4;
+  mp::World world(ranks);
+  mp::FaultPlan plan;
+  plan.enabled = true;
+  plan.stall_rank = 1;
+  plan.stall_at_op = 3;
+  plan.stall_micros = 200;
+  world.set_fault_plan(plan);
+  world.run([&](mp::Context& ctx) {
+    const int me = ctx.rank();
+    for (int round = 0; round < 10; ++round) {
+      ctx.send((me + 1) % ranks, static_cast<std::uint64_t>(round), {encode(me, round, 0)});
+      const auto msg = ctx.recv((me + ranks - 1) % ranks, static_cast<std::uint64_t>(round));
+      EXPECT_DOUBLE_EQ(msg[0], encode((me + ranks - 1) % ranks, round, 0));
+    }
+  });
+  EXPECT_EQ(world.recovery_stats().stalls, 1u);
+}
+
 TEST(MpStress, MixedCollectivesAndRandomizedTraffic) {
   // Deterministic per-rank RNG picks who messages whom each round; every rank
   // replays every peer's choices so receives match sends exactly without any

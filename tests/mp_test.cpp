@@ -98,6 +98,55 @@ TEST(MessagePassing, ExceptionsPropagate) {
                std::runtime_error);
 }
 
+TEST(MessagePassing, LowestRankFailureWins) {
+  // When several ranks fail, run() joins everyone and rethrows the failure
+  // from the lowest rank — the documented deterministic tie-break.
+  mp::World world(4);
+  try {
+    world.run([](mp::Context& ctx) {
+      if (ctx.rank() == 1) throw std::runtime_error("rank 1 boom");
+      if (ctx.rank() == 3) throw std::logic_error("rank 3 boom");
+    });
+    FAIL() << "expected a rank failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 boom");
+  }
+}
+
+TEST(MessagePassing, SecondarySurfacesOnlyWithoutPrimary) {
+  // Rank 0 dies; rank 1, blocked on a message rank 0 never sends, unwinds
+  // with the secondary WorldAbortedError — but run() reports the primary.
+  mp::World world(2);
+  try {
+    world.run([](mp::Context& ctx) {
+      if (ctx.rank() == 0) throw std::runtime_error("primary");
+      ctx.recv(0, 1);  // never satisfiable
+    });
+    FAIL() << "expected the primary failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "primary");
+  }
+}
+
+TEST(MessagePassing, SelfTrafficAndRangeChecksThrow) {
+  // Fresh world per case: an aborted world stays aborted until replay-reset.
+  EXPECT_THROW(
+      mp::World(2).run([](mp::Context& ctx) {
+        if (ctx.rank() == 0) ctx.send(0, 1, {1.0});  // send-to-self
+      }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      mp::World(2).run([](mp::Context& ctx) {
+        if (ctx.rank() == 1) static_cast<void>(ctx.recv(1, 1));  // recv-from-self
+      }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      mp::World(2).run([](mp::Context& ctx) {
+        if (ctx.rank() == 0) static_cast<void>(ctx.recv(-1, 1));  // src out of range
+      }),
+      std::invalid_argument);
+}
+
 using Param = std::tuple<std::string, int>;
 
 class SpmdAcrossOrderings : public ::testing::TestWithParam<Param> {};

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "core/registry.hpp"
 #include "linalg/generators.hpp"
@@ -111,6 +114,31 @@ TEST(SvdRobustness, MinimalSizeTwoColumns) {
   ASSERT_TRUE(r.converged);
   EXPECT_NEAR(r.sigma[0], 4.0, 1e-12);
   EXPECT_NEAR(r.sigma[1], 2.0, 1e-12);
+}
+
+TEST(SvdRobustness, NanInputFailsFastNamingTheColumn) {
+  // A poisoned input must fail precisely at entry — naming the offending
+  // column — instead of iterating to max_sweeps on IEEE-propagated garbage.
+  Rng rng(76);
+  Matrix a = random_gaussian(16, 8, rng);
+  a(5, 2) = std::numeric_limits<double>::quiet_NaN();
+  try {
+    one_sided_jacobi(a, *make_ordering("fat-tree"));
+    FAIL() << "expected the payload guard to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("one_sided_jacobi"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("column 2"), std::string::npos);
+  }
+}
+
+TEST(SvdRobustness, InfInputRejectedByEveryEngine) {
+  Rng rng(77);
+  Matrix a = random_gaussian(16, 8, rng);
+  a(0, 7) = std::numeric_limits<double>::infinity();
+  const auto ord = make_ordering("fat-tree");
+  EXPECT_THROW(one_sided_jacobi(a, *ord), std::invalid_argument);
+  EXPECT_THROW(one_sided_jacobi_threaded(a, *ord), std::invalid_argument);
+  EXPECT_THROW(cyclic_jacobi(a), std::invalid_argument);
 }
 
 }  // namespace
