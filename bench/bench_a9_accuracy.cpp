@@ -3,10 +3,22 @@
 // zero — needs those small values computed *reliably*. One-sided Jacobi is
 // classically strong here (high relative accuracy); this bench measures it
 // against the Golub-Kahan bidiagonal SVD and the (squaring, hence limited)
-// tridiagonal-QL oracle.
+// tridiagonal-QL oracle, and reports the factorization quality metrics
+// (scaled residual, orthonormality defects) at unit scale and at entry
+// magnitudes near 1e+-150 where the equilibration pre-pass carries the run.
+//
+// `--json=PATH` switches to the perf-smoke mode used by CI: the same runs
+// with every metric asserted against its tolerance — max scaled sigma error
+// |sigma_k - ref_k| / ref_max <= 1e-10, scaled residual and orthonormality
+// defects <= 1e-12 — and written as a machine-readable BENCH_accuracy.json.
+// A violated tolerance exits nonzero and fails the job.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/registry.hpp"
 #include "linalg/generators.hpp"
 #include "linalg/golub_kahan.hpp"
@@ -14,8 +26,119 @@
 #include "svd/jacobi.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace treesvd;
+namespace {
+
+using namespace treesvd;
+
+// The gated sigma metric is the *scaled* error max_k |sigma_k - ref_k| /
+// ref_max (the torture-gate contract): the construction's orthonormal
+// factors are themselves only accurate to ~1e-15 * sigma_max, so per-sigma
+// relative error at sigma_min = 1e-12 * sigma_max is limited by the test
+// matrix, not the engine — it is reported but not gated.
+constexpr double kSigmaScaledTol = 1e-10;
+constexpr double kResidualTol = 5e-12;
+constexpr double kDefectTol = 1e-12;
+
+struct ScaleCase {
+  const char* name;
+  double scale;
+};
+
+constexpr ScaleCase kScales[] = {
+    {"unit", 1.0},
+    {"huge-1e150", 1e150},
+    {"tiny-1e-150", 1e-150},
+};
+
+struct CaseMetrics {
+  std::string name;
+  double max_scaled_err = 0.0;  ///< max_k |sigma_k - ref_k| / ref_max (gated)
+  double max_rel_err = 0.0;     ///< max_k |sigma_k - ref_k| / ref_k (reported)
+  double scaled_residual = 0.0;
+  double u_defect = 0.0;
+  double v_defect = 0.0;
+  bool equilibrated = false;
+  int sweeps = 0;
+  bool converged = false;
+};
+
+CaseMetrics run_case(const ScaleCase& sc, const std::vector<double>& spec, Rng& rng) {
+  std::vector<double> sigma = spec;
+  for (double& s : sigma) s *= sc.scale;
+  const Matrix a = with_spectrum(24, 12, sigma, rng);
+  JacobiOptions opt;
+  opt.full_diagnostics = true;  // residual + defects even on converged runs
+  const SvdResult r = one_sided_jacobi(a, *make_ordering("fat-tree"), opt);
+
+  CaseMetrics m;
+  m.name = sc.name;
+  m.converged = r.converged;
+  m.equilibrated = r.diagnostics.equilibrated;
+  m.sweeps = r.sweeps;
+  m.scaled_residual = r.diagnostics.scaled_residual;
+  m.u_defect = r.diagnostics.u_defect;
+  m.v_defect = r.diagnostics.v_defect;
+  for (std::size_t k = 0; k < sigma.size(); ++k) {
+    const double err = std::fabs(r.sigma[k] - sigma[k]);
+    m.max_scaled_err = std::max(m.max_scaled_err, err / sigma[0]);
+    m.max_rel_err = std::max(m.max_rel_err, err / sigma[k]);
+  }
+  return m;
+}
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "accuracy-correctness FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+int run_json_mode(const std::string& path) {
+  Rng rng(1212);
+  const auto spec = geometric_spectrum(12, 1e12);
+
+  std::vector<bench::JsonObject> rows;
+  for (const ScaleCase& sc : kScales) {
+    const CaseMetrics m = run_case(sc, spec, rng);
+    if (!m.converged) return fail(m.name + ": did not converge");
+    if (!(m.max_scaled_err <= kSigmaScaledTol))
+      return fail(m.name + ": sigma scaled error " + std::to_string(m.max_scaled_err));
+    if (!(m.scaled_residual >= 0.0 && m.scaled_residual <= kResidualTol))
+      return fail(m.name + ": scaled residual " + std::to_string(m.scaled_residual));
+    if (!(m.u_defect >= 0.0 && m.u_defect <= kDefectTol))
+      return fail(m.name + ": U orthonormality defect " + std::to_string(m.u_defect));
+    if (!(m.v_defect >= 0.0 && m.v_defect <= kDefectTol))
+      return fail(m.name + ": V orthonormality defect " + std::to_string(m.v_defect));
+    bench::JsonObject row;
+    row.add("case", m.name)
+        .add("sigma_max_scaled_err", m.max_scaled_err)
+        .add("sigma_max_rel_err", m.max_rel_err)
+        .add("scaled_residual", m.scaled_residual)
+        .add("u_defect", m.u_defect)
+        .add("v_defect", m.v_defect)
+        .add("equilibrated", m.equilibrated)
+        .add("sweeps", static_cast<long long>(m.sweeps));
+    rows.push_back(row);
+  }
+
+  bench::JsonObject root;
+  root.add("bench", "accuracy");
+  root.add("schema", "treesvd-bench-v1");
+  root.add("correctness", "ok");
+  root.add("spectrum_cond", 1e12);
+  root.add("sigma_scaled_tol", kSigmaScaledTol);
+  root.add("residual_tol", kResidualTol);
+  root.add("defect_tol", kDefectTol);
+  root.add_array("cases", rows);
+  if (!bench::write_json_file(path, root)) return 1;
+  std::printf("accuracy correctness OK (3 scale cases), report written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return run_json_mode(argv[i] + 7);
+
   std::printf("A9 — relative accuracy on a geometric spectrum, cond = 1e12 (24x12)\n\n");
 
   Rng rng(1212);
@@ -23,7 +146,9 @@ int main() {
   const Matrix a = with_spectrum(24, 12, spec, rng);
   const auto gk = golub_kahan_singular_values(a);
   const auto ql = singular_values_oracle(a);
-  const SvdResult j = one_sided_jacobi(a, *make_ordering("fat-tree"));
+  JacobiOptions opt;
+  opt.full_diagnostics = true;
+  const SvdResult j = one_sided_jacobi(a, *make_ordering("fat-tree"), opt);
 
   Table t({"k", "sigma_k (true)", "jacobi rel.err", "golub-kahan rel.err",
            "squared-QL rel.err"});
@@ -44,9 +169,37 @@ int main() {
   }
   std::printf("%s\n", t.str().c_str());
   std::printf(
+      "Factorization quality (full_diagnostics): scaled residual %.2e, "
+      "U defect %.2e, V defect %.2e\n\n",
+      j.diagnostics.scaled_residual, j.diagnostics.u_defect, j.diagnostics.v_defect);
+
+  std::printf("Quality across entry scales (equilibration carries the extremes):\n");
+  Table q({"scale", "sigma scaled err", "sigma rel err", "scaled residual", "U defect",
+           "V defect", "equilibrated", "sweeps"});
+  Rng rng2(1212);
+  for (const ScaleCase& sc : kScales) {
+    const CaseMetrics m = run_case(sc, spec, rng2);
+    auto e = [](double v) {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%.1e", v);
+      return std::string(buf);
+    };
+    q.row()
+        .cell(m.name)
+        .cell(e(m.max_scaled_err))
+        .cell(e(m.max_rel_err))
+        .cell(e(m.scaled_residual))
+        .cell(e(m.u_defect))
+        .cell(e(m.v_defect))
+        .cell(m.equilibrated ? "yes" : "no")
+        .cell(static_cast<long long>(m.sweeps));
+  }
+  std::printf("%s\n", q.str().c_str());
+  std::printf(
       "Shape: the squared-oracle error blows up to O(1) once sigma falls below\n"
       "sqrt(eps)*sigma_1 ~ 1e-8, while the one-sided Jacobi engine matches the\n"
       "non-squaring Golub-Kahan reference across the full 12 decades — small\n"
-      "singular values can indeed be thresholded with confidence (Section 1).\n");
+      "singular values can indeed be thresholded with confidence (Section 1) —\n"
+      "and the quality metrics are unchanged at entry scales of 1e+-150.\n");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "linalg/blas1.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -68,6 +69,60 @@ double nrm2(std::span<const double> x) noexcept {
     }
   }
   return scale * std::sqrt(ssq);
+}
+
+double ScaledSumsq::value() const noexcept {
+  // ssq >= 1, so scale^2 overflows only when the true sum of squares does;
+  // the plain product is the honest conversion.
+  return scale * scale * ssq;
+}
+
+double ScaledSumsq::norm() const noexcept { return scale * std::sqrt(ssq); }
+
+ScaledSumsq sumsq_scaled(std::span<const double> x) noexcept {
+  ScaledSumsq r;
+  r.scale = 0.0;
+  r.ssq = 1.0;
+  for (double v : x) {
+    if (v == 0.0) continue;
+    const double a = std::fabs(v);
+    if (r.scale < a) {
+      const double t = r.scale / a;
+      r.ssq = 1.0 + r.ssq * t * t;
+      r.scale = a;
+    } else {
+      const double t = a / r.scale;
+      r.ssq += t * t;
+    }
+  }
+  return r;
+}
+
+double dot_scaled(std::span<const double> x, std::span<const double> y) noexcept {
+  double mx = 0.0;
+  double my = 0.0;
+  for (const double v : x) mx = std::max(mx, std::fabs(v));
+  for (const double v : y) my = std::max(my, std::fabs(v));
+  if (mx == 0.0 || my == 0.0) return 0.0;
+  if (!std::isfinite(mx) || !std::isfinite(my)) return dot(x, y);
+  // Exact power-of-two prescale: every product of prescaled entries lies in
+  // [-4, 4], so the accumulation cannot overflow; ldexp restores the
+  // combined exponent (overflowing only when the true dot product does).
+  const int ex = std::ilogb(mx);
+  const int ey = std::ilogb(my);
+  const double* __restrict xp = x.data();
+  const double* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    s += std::ldexp(xp[i], -ex) * std::ldexp(yp[i], -ey);
+  return std::ldexp(s, ex + ey);
+}
+
+double sumsq_robust(std::span<const double> x) noexcept {
+  const double fast = sumsq(x);
+  if (std::isfinite(fast)) return fast;
+  return sumsq_scaled(x).value();
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {

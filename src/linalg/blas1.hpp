@@ -20,6 +20,38 @@ double dot(std::span<const double> x, std::span<const double> y) noexcept;
 /// entries may overflow or underflow under squaring).
 double sumsq(std::span<const double> x) noexcept;
 
+/// dlassq-style representation of a sum of squares: the pair (scale, ssq)
+/// stands for scale^2 * ssq with scale = max |x_i| visited so far, so the
+/// accumulation itself can neither overflow nor underflow — only the final
+/// conversion back to a plain double can, and then only when the true value
+/// is outside the representable range.
+struct ScaledSumsq {
+  double scale = 0.0;
+  double ssq = 1.0;
+
+  /// scale^2 * ssq as a plain double (Inf when the true value overflows,
+  /// 0 when x was all zeros).
+  double value() const noexcept;
+  /// scale * sqrt(ssq): the 2-norm, representable whenever the norm itself
+  /// is (i.e. for every finite input).
+  double norm() const noexcept;
+};
+
+/// Scaled accumulation of x . x (LAPACK dlassq). Use where sumsq would
+/// overflow/underflow: the scaled form loses nothing at any input scale.
+ScaledSumsq sumsq_scaled(std::span<const double> x) noexcept;
+
+/// x . y with exact power-of-two prescaling of both operands (each by its
+/// own largest-entry exponent), so the accumulation stays in range; the
+/// combined exponent is reapplied at the end. Costs ~3x dot; used as the
+/// retry path when the fast unscaled dot returns a non-finite value.
+double dot_scaled(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Fast path + fallback: sumsq(x), retried as sumsq_scaled when the unscaled
+/// accumulation produced a non-finite value (which for non-negative terms
+/// means the squares overflowed mid-sum).
+double sumsq_robust(std::span<const double> x) noexcept;
+
 /// ||x||_2, computed with scaling so that it neither overflows nor underflows.
 double nrm2(std::span<const double> x) noexcept;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstring>
 #include <functional>
 #include <mutex>
@@ -256,6 +257,18 @@ Matrix gram_panel(const Matrix& a, std::span<const int> cols, ThreadPool* pool) 
   }
   for (std::size_t i = 0; i < kw; ++i)
     for (std::size_t j = i + 1; j < kw; ++j) g(j, i) = g(i, j);
+  // Overflow repair: a Gram element that left the finite range is recomputed
+  // with per-operand exponent scaling. The fast path above is untouched (and
+  // bitwise unchanged) whenever every element is finite.
+  for (std::size_t i = 0; i < kw; ++i) {
+    const auto ci = a.col(static_cast<std::size_t>(cols[i]));
+    for (std::size_t j = i; j < kw; ++j) {
+      if (std::isfinite(g(i, j))) continue;
+      const double v = dot_scaled(ci, a.col(static_cast<std::size_t>(cols[j])));
+      g(i, j) = v;
+      g(j, i) = v;
+    }
+  }
   return g;
 }
 
@@ -303,6 +316,13 @@ std::vector<double> apply_panel_update(Matrix& a, std::span<const int> cols, con
   std::vector<double> sums(kw, 0.0);
   for (std::size_t t = 0; t < chunks; ++t)
     for (std::size_t j = 0; j < kw; ++j) sums[j] += partial[t * kw + j];
+  // Overflow repair for the fused norms, mirroring gram_panel: recompute a
+  // non-finite squared norm with dnrm2-style scaled accumulation (still Inf
+  // if the true value genuinely exceeds the double range — honest overflow).
+  for (std::size_t j = 0; j < kw; ++j) {
+    if (std::isfinite(sums[j])) continue;
+    sums[j] = sumsq_scaled({colp[j], m}).value();
+  }
   return sums;
 }
 

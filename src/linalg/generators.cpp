@@ -1,5 +1,6 @@
 #include "linalg/generators.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/blas1.hpp"
@@ -73,6 +74,104 @@ Matrix hilbert(std::size_t n) {
     for (std::size_t i = 0; i < n; ++i)
       h(i, j) = 1.0 / static_cast<double>(i + j + 1);
   return h;
+}
+
+namespace {
+
+std::vector<double> scaled_spectrum(std::size_t n, double cond, double smax) {
+  std::vector<double> s = geometric_spectrum(n, cond);
+  for (double& v : s) v *= smax;
+  return s;
+}
+
+}  // namespace
+
+std::vector<TortureCase> torture_suite(std::size_t m, std::size_t n, Rng& rng) {
+  TREESVD_REQUIRE(m >= n && n >= 4 && n % 2 == 0,
+                  "torture_suite needs m >= n >= 4 with n even");
+  std::vector<TortureCase> cases;
+
+  {  // Baseline: well within range, moderately conditioned.
+    std::vector<double> s = geometric_spectrum(n, 1e6);
+    Matrix a = with_spectrum(m, n, s, rng);
+    cases.push_back({"well-scaled", std::move(a), std::move(s)});
+  }
+  {  // Full graded condition number at unit scale.
+    std::vector<double> s = geometric_spectrum(n, 1e12);
+    Matrix a = with_spectrum(m, n, s, rng);
+    cases.push_back({"graded-kappa1e12", std::move(a), std::move(s)});
+  }
+  {  // Entries near 1e+150: any squared column norm overflows to Inf.
+    std::vector<double> s = scaled_spectrum(n, 1e12, 1e150);
+    Matrix a = with_spectrum(m, n, s, rng);
+    cases.push_back({"huge-scale-1e150", std::move(a), std::move(s)});
+  }
+  {  // Entries near 1e-150: every squared column norm underflows to 0.
+    std::vector<double> s = scaled_spectrum(n, 1e12, 1e-150);
+    Matrix a = with_spectrum(m, n, s, rng);
+    cases.push_back({"tiny-scale-1e-150", std::move(a), std::move(s)});
+  }
+  {  // Extreme span: a 1e+150-scale matrix with one appended 1e-150 row, so
+    // this case alone is (m+1) x n. The row perturbs each sigma by a
+    // relative amount below 1e-250: the construction spectrum remains the
+    // reference.
+    std::vector<double> s = scaled_spectrum(n, 1e6, 1e150);
+    const Matrix b = with_spectrum(m, n, s, rng);
+    Matrix a(m + 1, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto src = b.col(j);
+      const auto dst = a.col(j);
+      for (std::size_t i = 0; i < m; ++i) dst[i] = src[i];
+      dst[m] = (j % 2 == 0 ? 1.0 : -1.0) * 1e-150;
+    }
+    cases.push_back({"extreme-span", std::move(a), std::move(s)});
+  }
+  {  // Denormal-laced: +-1e-310 on every entry of a unit-scale matrix. The
+    // perturbation moves each sigma by well under 1e-290 relative.
+    std::vector<double> s = geometric_spectrum(n, 1e6);
+    Matrix a = with_spectrum(m, n, s, rng);
+    for (double& v : a.data()) v += (rng.normal() >= 0.0 ? 1.0 : -1.0) * 1e-310;
+    cases.push_back({"denormal-laced", std::move(a), std::move(s)});
+  }
+  {  // Exact zero columns: sigma padded with exact zeros.
+    std::vector<double> s = geometric_spectrum(n - 2, 1e6);
+    const Matrix b = with_spectrum(m, n - 2, s, rng);
+    Matrix a(m, n);
+    for (std::size_t j = 0; j + 2 < n; ++j) {
+      const auto src = b.col(j);
+      const auto dst = a.col(j);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    s.push_back(0.0);
+    s.push_back(0.0);
+    cases.push_back({"zero-columns", std::move(a), std::move(s)});
+  }
+  {  // Exact duplicate columns [B | B]: sigma = sqrt(2) * sigma(B), then
+    // exact zeros for the redundant half.
+    const std::size_t h = n / 2;
+    std::vector<double> sb = geometric_spectrum(h, 1e6);
+    const Matrix b = with_spectrum(m, h, sb, rng);
+    Matrix a(m, n);
+    for (std::size_t j = 0; j < h; ++j) {
+      const auto src = b.col(j);
+      std::copy(src.begin(), src.end(), a.col(j).begin());
+      std::copy(src.begin(), src.end(), a.col(h + j).begin());
+    }
+    std::vector<double> s(n, 0.0);
+    for (std::size_t j = 0; j < h; ++j) s[j] = std::sqrt(2.0) * sb[j];
+    cases.push_back({"duplicate-columns", std::move(a), std::move(s)});
+  }
+  {  // Hilbert matrix embedded in the top block: reference sigma unknown,
+    // but the status/finiteness contract must still hold.
+    const Matrix hn = hilbert(n);
+    Matrix a(m, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto src = hn.col(j);
+      std::copy(src.begin(), src.end(), a.col(j).begin());
+    }
+    cases.push_back({"hilbert", std::move(a), {}});
+  }
+  return cases;
 }
 
 }  // namespace treesvd

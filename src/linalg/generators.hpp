@@ -8,6 +8,7 @@
 // examples.
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -35,5 +36,29 @@ Matrix rank_deficient(std::size_t m, std::size_t n, std::size_t rank, Rng& rng);
 
 /// Hilbert matrix H(i,j) = 1/(i+j+1): classically ill-conditioned.
 Matrix hilbert(std::size_t n);
+
+/// One torture input: a matrix engineered to stress a specific numerical
+/// hazard, together with its reference singular values when they are known
+/// by construction (descending; empty when only finiteness and the status
+/// contract can be checked).
+struct TortureCase {
+  std::string name;
+  Matrix a;
+  std::vector<double> sigma;
+};
+
+/// The torture-input family (DESIGN.md §11). Cases are m x n (the
+/// extreme-span case appends one row, making it (m+1) x n) with
+/// m >= n >= 4 and n even:
+///  * well-scaled / graded spectra up to condition 1e12 at unit scale,
+///  * the same graded spectra pushed to entry magnitudes near 1e+150 and
+///    1e-150 (squared norms overflow/underflow without equilibration),
+///  * an extreme-span case mixing 1e+150-scale columns with a 1e-150 row,
+///  * a denormal-laced perturbation (+-1e-310 on every entry),
+///  * exact zero columns and exact duplicate columns (known zero sigma), and
+///  * the Hilbert matrix (reference sigma unknown — contract checks only).
+/// Reference sigma are exact up to relative perturbations far below 1e-10,
+/// so a correct engine must reproduce them to that tolerance.
+std::vector<TortureCase> torture_suite(std::size_t m, std::size_t n, Rng& rng);
 
 }  // namespace treesvd

@@ -8,11 +8,36 @@ bool is_orthogonal(const GramPair& g, double tol) noexcept {
   return std::fabs(g.apq) <= tol * std::sqrt(g.app) * std::sqrt(g.aqq);
 }
 
+namespace {
+// Above this magnitude, sqrt(1 + zeta^2) rounds to |zeta| exactly, so the
+// textbook small-root formula collapses to 1/(2 zeta) bit-for-bit; taking
+// that branch explicitly avoids the zeta*zeta intermediate, which overflows
+// for |zeta| > ~1e154 (tiny/denormal apq against a large norm difference).
+constexpr double kZetaBig = 134217728.0;  // 2^27
+}  // namespace
+
 JacobiRotation compute_rotation(const GramPair& g, double tol) noexcept {
-  if (g.app == 0.0 || g.aqq == 0.0) return {};  // zero column: nothing to rotate
+  // A zero column has nothing to rotate; a *negative* diagonal (cancellation
+  // in an accumulated Gram matrix) would make the threshold sqrt NaN and
+  // disable the orthogonality test — both are degenerate, both get identity.
+  if (g.app <= 0.0 || g.aqq <= 0.0) return {};
+  // Overflowed or poisoned Gram data carries no usable angle; returning
+  // identity keeps the engine deterministic and lets the status contract
+  // (stall detection) report the degradation instead of rotating on garbage.
+  if (!std::isfinite(g.app) || !std::isfinite(g.aqq) || !std::isfinite(g.apq)) return {};
   if (is_orthogonal(g, tol)) return {};
+  if (g.apq == 0.0) return {};  // reachable only via a NaN threshold above
   const double zeta = (g.aqq - g.app) / (2.0 * g.apq);
-  const double t = (zeta >= 0.0 ? 1.0 : -1.0) / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+  double t;
+  if (std::fabs(zeta) >= kZetaBig) {
+    t = 1.0 / (2.0 * zeta);
+  } else {
+    t = (zeta >= 0.0 ? 1.0 : -1.0) / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+  }
+  // t underflows to zero only when zeta overflowed to infinity: the rotation
+  // is indistinguishable from the identity at working precision, and
+  // applying it would count as activity forever without changing the data.
+  if (t == 0.0) return {};
   const double c = 1.0 / std::sqrt(1.0 + t * t);
   return {c, c * t, false};
 }

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "linalg/blas1.hpp"
+#include "svd/equilibrate.hpp"
 #include "svd/pair_kernel.hpp"
 #include "util/require.hpp"
 
@@ -61,6 +62,7 @@ struct MachineCheckpoint {
   int sweeps = 0;
   std::uint64_t comm_op = 0;
   ConvergenceWatchdog watchdog{0};
+  StallDetector stall;
 };
 
 void validate_chaos(const DistributedChaos& chaos, int leaves, bool cache_norms) {
@@ -96,7 +98,10 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
   TREESVD_REQUIRE(topology.leaves() == n / 2, "topology must have n/2 leaves");
   require_finite_columns(a, "distributed_jacobi");
 
-  const RecoveryOptions recovery = chaos != nullptr ? chaos->recovery : RecoveryOptions{};
+  RecoveryOptions recovery = chaos != nullptr ? chaos->recovery : RecoveryOptions{};
+  // Without a chaos config the engine-level watchdog knob applies (chaos
+  // replay depends on its own RecoveryOptions staying authoritative).
+  if (chaos == nullptr) recovery.watchdog_sweeps = options.watchdog_sweeps;
   const bool checkpointing = chaos != nullptr && recovery.checkpoint_sweeps > 0;
   std::optional<mp::FaultInjector> injector;
   if (chaos != nullptr && chaos->faults.enabled) {
@@ -106,6 +111,10 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
   mp::RecoveryStats rec;
 
   const std::size_t rows = a.rows();
+  // Equilibrate once, before the initial distribution, so every travelling
+  // column and cached norm works at the same exact power-of-two scale.
+  Matrix a_eq = a;
+  const Equilibration eq = equilibrate(a_eq, options.equilibrate);
   SlotStore h(static_cast<std::size_t>(n), rows);
   SlotStore v(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
 
@@ -118,12 +127,12 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
   KernelCounters counters;
   for (int s = 0; s < n; ++s) {
     index_at_slot[static_cast<std::size_t>(s)] = s;
-    const auto src = a.col(static_cast<std::size_t>(s));
+    const auto src = a_eq.col(static_cast<std::size_t>(s));
     std::copy(src.begin(), src.end(), h.at(s).begin());
     v.at(s)[static_cast<std::size_t>(s)] = 1.0;
   }
   if (options.cache_norms) {
-    for (int s = 0; s < n; ++s) hsq[static_cast<std::size_t>(s)] = sumsq(h.at(s));
+    for (int s = 0; s < n; ++s) hsq[static_cast<std::size_t>(s)] = sumsq_robust(h.at(s));
     counters.add_norm_refresh(static_cast<std::size_t>(n));
   }
 
@@ -135,6 +144,7 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
 
   std::vector<int> layout(index_at_slot);
   ConvergenceWatchdog watchdog(recovery.watchdog_sweeps);
+  StallDetector stall(options.stall_window);
   std::uint64_t comm_op = 0;  // executed communication steps (kill ordinal)
   std::optional<MachineCheckpoint> checkpoint;
   int start_sweep = 0;
@@ -167,6 +177,7 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
           cp.sweeps = out.svd.sweeps;
           cp.comm_op = comm_op;
           cp.watchdog = watchdog;
+          cp.stall = stall;
           checkpoint = std::move(cp);
           ++rec.checkpoints;
         }
@@ -174,7 +185,8 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
         // NormCache refresh (a local re-reduction on every leaf, no messages).
         if (options.cache_norms && sweep > 0 && options.norm_recompute_sweeps > 0 &&
             sweep % options.norm_recompute_sweeps == 0) {
-          for (int s2 = 0; s2 < n; ++s2) hsq[static_cast<std::size_t>(s2)] = sumsq(h.at(s2));
+          for (int s2 = 0; s2 < n; ++s2)
+            hsq[static_cast<std::size_t>(s2)] = sumsq_robust(h.at(s2));
           counters.add_norm_refresh(static_cast<std::size_t>(n));
         }
         const Sweep s = ordering.sweep_from(layout, sweep);
@@ -223,7 +235,7 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
               // at its first use, and repaired by re-reducing the column.
               for (const int sl : {slot_lo, slot_hi}) {
                 if (cached_norm_plausible(hsq[static_cast<std::size_t>(sl)])) continue;
-                hsq[static_cast<std::size_t>(sl)] = sumsq(h.at(sl));
+                hsq[static_cast<std::size_t>(sl)] = sumsq_robust(h.at(sl));
                 counters.add_norm_refresh();
                 ++rec.norm_rereductions;
               }
@@ -313,11 +325,13 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
           out.svd.converged = true;
           break;
         }
+        stall.observe(static_cast<double>(sweep_rot + sweep_swap));
         // Stagnation watchdog: activity stopped decreasing — re-reduce every
         // cached norm (the one repairable stagnation source) and keep going.
         if (watchdog.observe(static_cast<double>(sweep_rot + sweep_swap))) {
           if (options.cache_norms) {
-            for (int s2 = 0; s2 < n; ++s2) hsq[static_cast<std::size_t>(s2)] = sumsq(h.at(s2));
+            for (int s2 = 0; s2 < n; ++s2)
+              hsq[static_cast<std::size_t>(s2)] = sumsq_robust(h.at(s2));
             counters.add_norm_refresh(static_cast<std::size_t>(n));
             rec.norm_rereductions += static_cast<std::size_t>(n);
           }
@@ -350,6 +364,7 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
       out.svd.sweeps = cp.sweeps;
       comm_op = cp.comm_op;
       watchdog = cp.watchdog;
+      stall = cp.stall;
       start_sweep = cp.sweep;
     }
   }
@@ -383,6 +398,19 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
       std::copy(src.begin(), src.end(), dst.begin());
     }
   }
+  // U was formed at the equilibrated scale (the 2^e factor cancels bitwise);
+  // only sigma carries the scale and is undone exactly here.
+  unscale_sigma(out.svd.sigma, eq);
+  out.svd.status = out.svd.converged
+                       ? SvdStatus::kConverged
+                       : (stall.stalled() ? SvdStatus::kStalled : SvdStatus::kMaxSweeps);
+  out.svd.diagnostics.input_scale = eq.stats;
+  out.svd.diagnostics.equilibrated = eq.applied;
+  out.svd.diagnostics.equilibration_exponent = eq.exponent;
+  out.svd.diagnostics.stalled_sweeps = stall.streak();
+  out.svd.diagnostics.watchdog_trips = rec.watchdog_trips;
+  if (!out.svd.converged || options.full_diagnostics)
+    assess_quality(a, out.svd, eq.exponent, options.rank_tol);
   return out;
 }
 

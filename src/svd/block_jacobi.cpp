@@ -7,6 +7,7 @@
 #include "linalg/blas1.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/rotation.hpp"
+#include "svd/equilibrate.hpp"
 #include "svd/pair_kernel.hpp"
 #include "svd/recovery.hpp"
 #include "util/require.hpp"
@@ -177,6 +178,10 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
     const auto dst = h.col(j);
     std::copy(src.begin(), src.end(), dst.begin());
   }
+  const Equilibration eq = equilibrate(h, options.equilibrate);
+  StallDetector stall(options.stall_window);
+  ConvergenceWatchdog watchdog(options.watchdog_sweeps);
+  std::size_t watchdog_trips = 0;
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(padded_n)) : Matrix();
   Matrix* vp = options.compute_v ? &v : nullptr;
 
@@ -232,12 +237,21 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
       r.converged = true;
       break;
     }
+    const double activity = static_cast<double>(sweep_rot + sweep_swap);
+    stall.observe(activity);
+    if (watchdog.observe(activity)) {
+      if (options.cache_norms) cache.refresh(h);
+      ++watchdog_trips;
+      watchdog.reset();
+    }
   }
 
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
 
-  // Finalisation mirrors the element-wise engine.
+  // Finalisation mirrors the element-wise engine (at the equilibrated scale;
+  // the common 2^e factor cancels in the U division and sigma is unscaled
+  // exactly afterwards).
   r.sigma.resize(a.cols());
   for (std::size_t j = 0; j < a.cols(); ++j) r.sigma[j] = nrm2(h.col(j));
   const double smax = *std::max_element(r.sigma.begin(), r.sigma.end());
@@ -254,6 +268,17 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
       std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(a.cols()), dst.begin());
     }
   }
+  unscale_sigma(r.sigma, eq);
+
+  r.status = r.converged ? SvdStatus::kConverged
+                         : (stall.stalled() ? SvdStatus::kStalled : SvdStatus::kMaxSweeps);
+  r.diagnostics.input_scale = eq.stats;
+  r.diagnostics.equilibrated = eq.applied;
+  r.diagnostics.equilibration_exponent = eq.exponent;
+  r.diagnostics.watchdog_trips = watchdog_trips;
+  r.diagnostics.stalled_sweeps = stall.streak();
+  if (!r.converged || options.full_diagnostics)
+    assess_quality(a, r, eq.exponent, options.rank_tol);
   return r;
 }
 

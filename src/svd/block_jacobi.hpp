@@ -60,6 +60,14 @@ struct BlockJacobiOptions {
   /// Full NormCache re-reduction every this many *outer* sweeps (<= 0
   /// disables the scheduled refresh).
   int norm_recompute_sweeps = 8;
+  /// Same robustness knobs as JacobiOptions (svd/status.hpp /
+  /// svd/equilibrate.hpp): exact power-of-two input equilibration, opt-in
+  /// stagnation watchdog, observational stall window, and forced heavy
+  /// diagnostics.
+  EquilibrateMode equilibrate = EquilibrateMode::kAuto;
+  int watchdog_sweeps = 0;
+  int stall_window = 4;
+  bool full_diagnostics = false;
 };
 
 /// Block one-sided Jacobi SVD of an m x n matrix (m >= n) with the given

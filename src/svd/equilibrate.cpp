@@ -1,0 +1,30 @@
+#include "svd/equilibrate.hpp"
+
+#include <cmath>
+
+namespace treesvd {
+
+Equilibration equilibrate(Matrix& a, EquilibrateMode mode) noexcept {
+  Equilibration eq;
+  eq.stats = scan_scale(a);
+  if (mode == EquilibrateMode::kOff || eq.stats.max_abs == 0.0) return eq;
+
+  const int e = eq.stats.max_exponent;
+  const bool act = mode == EquilibrateMode::kAlways
+                       ? e != 0
+                       : e > kAutoEquilibrateExponent || e < -kAutoEquilibrateExponent;
+  if (!act) return eq;
+
+  eq.applied = true;
+  eq.exponent = -e;  // lands max|a| in [1, 2)
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (double& v : a.col(j)) v = std::ldexp(v, eq.exponent);
+  return eq;
+}
+
+void unscale_sigma(std::vector<double>& sigma, const Equilibration& eq) noexcept {
+  if (!eq.applied) return;
+  for (double& s : sigma) s = std::ldexp(s, -eq.exponent);
+}
+
+}  // namespace treesvd

@@ -8,6 +8,7 @@
 
 #include "linalg/blas1.hpp"
 #include "linalg/rotation.hpp"
+#include "svd/equilibrate.hpp"
 #include "svd/pair_kernel.hpp"
 #include "svd/recovery.hpp"
 #include "util/require.hpp"
@@ -39,10 +40,36 @@ Matrix pad_columns(const Matrix& a, const Ordering& ordering, int* padded_n) {
   return {};
 }
 
-SvdResult finalize(Matrix h, Matrix v, std::size_t orig_cols, const JacobiOptions& opt,
-                   SvdResult partial) {
-  const std::size_t n = orig_cols;
+/// Per-driver robustness state: the equilibration record plus the (always
+/// observational) stall classifier and (opt-in) watchdog, threaded through
+/// finalize so every result carries the status contract.
+struct SweepGuards {
+  Equilibration eq;
+  StallDetector stall;
+  ConvergenceWatchdog watchdog{0};
+  std::size_t watchdog_trips = 0;
+
+  explicit SweepGuards(const JacobiOptions& opt)
+      : stall(opt.stall_window), watchdog(opt.watchdog_sweeps) {}
+
+  /// Feeds one sweep's activity; returns true when the watchdog demands a
+  /// norm re-reduction (the caller refreshes its cache).
+  bool observe(double activity) {
+    stall.observe(activity);
+    if (!watchdog.observe(activity)) return false;
+    ++watchdog_trips;
+    watchdog.reset();
+    return true;
+  }
+};
+
+SvdResult finalize(Matrix h, Matrix v, const Matrix& a, const JacobiOptions& opt,
+                   const SweepGuards& guards, SvdResult partial) {
+  const std::size_t n = a.cols();
   SvdResult r = std::move(partial);
+  // Sigma, smax and the U division all happen at the equilibrated scale (h
+  // still carries the 2^e factor, and so do the norms); the common factor
+  // cancels bitwise in every ratio, and sigma is unscaled exactly at the end.
   r.sigma.resize(n);
   for (std::size_t j = 0; j < n; ++j) r.sigma[j] = nrm2(h.col(j));
   const double smax = *std::max_element(r.sigma.begin(), r.sigma.end());
@@ -60,6 +87,18 @@ SvdResult finalize(Matrix h, Matrix v, std::size_t orig_cols, const JacobiOption
       std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n), dst.begin());
     }
   }
+  unscale_sigma(r.sigma, guards.eq);
+
+  r.status = r.converged ? SvdStatus::kConverged
+                         : (guards.stall.stalled() ? SvdStatus::kStalled
+                                                   : SvdStatus::kMaxSweeps);
+  r.diagnostics.input_scale = guards.eq.stats;
+  r.diagnostics.equilibrated = guards.eq.applied;
+  r.diagnostics.equilibration_exponent = guards.eq.exponent;
+  r.diagnostics.watchdog_trips = guards.watchdog_trips;
+  r.diagnostics.stalled_sweeps = guards.stall.streak();
+  if (!r.converged || opt.full_diagnostics)
+    assess_quality(a, r, guards.eq.exponent, opt.rank_tol);
   return r;
 }
 
@@ -127,6 +166,8 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   require_finite_columns(a, "one_sided_jacobi");
   int padded_n = 0;
   Matrix h = pad_columns(a, ordering, &padded_n);
+  SweepGuards guards(options);
+  guards.eq = equilibrate(h, options.equilibrate);
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(padded_n)) : Matrix();
   Matrix* vp = options.compute_v ? &v : nullptr;
 
@@ -169,10 +210,12 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
       r.converged = true;
       break;
     }
+    if (guards.observe(static_cast<double>(sweep_rot + sweep_swap)) && options.cache_norms)
+      cache.refresh(h);
   }
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
-  return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
+  return finalize(std::move(h), std::move(v), a, options, guards, std::move(r));
 }
 
 SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
@@ -182,6 +225,8 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
   require_finite_columns(a, "one_sided_jacobi_threaded");
   int padded_n = 0;
   Matrix h = pad_columns(a, ordering, &padded_n);
+  SweepGuards guards(options);
+  guards.eq = equilibrate(h, options.equilibrate);
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(padded_n)) : Matrix();
   Matrix* vp = options.compute_v ? &v : nullptr;
 
@@ -230,10 +275,13 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
       r.converged = true;
       break;
     }
+    if (guards.observe(static_cast<double>(sweep_rot.load() + sweep_swap.load())) &&
+        options.cache_norms)
+      cache.refresh(h);
   }
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
-  return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
+  return finalize(std::move(h), std::move(v), a, options, guards, std::move(r));
 }
 
 SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
@@ -242,6 +290,8 @@ SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
   require_finite_columns(a, "cyclic_jacobi");
   const int n = static_cast<int>(a.cols());
   Matrix h = a;
+  SweepGuards guards(options);
+  guards.eq = equilibrate(h, options.equilibrate);
   Matrix v = options.compute_v ? Matrix::identity(static_cast<std::size_t>(n)) : Matrix();
   Matrix* vp = options.compute_v ? &v : nullptr;
 
@@ -273,10 +323,12 @@ SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
       r.converged = true;
       break;
     }
+    if (guards.observe(static_cast<double>(sweep_rot + sweep_swap)) && options.cache_norms)
+      cache.refresh(h);
   }
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
-  return finalize(std::move(h), std::move(v), a.cols(), options, std::move(r));
+  return finalize(std::move(h), std::move(v), a, options, guards, std::move(r));
 }
 
 }  // namespace treesvd

@@ -13,6 +13,7 @@
 #include "core/ordering.hpp"
 #include "linalg/matrix.hpp"
 #include "svd/norm_cache.hpp"
+#include "svd/status.hpp"
 
 namespace treesvd {
 
@@ -51,6 +52,26 @@ struct JacobiOptions {
   /// Threaded driver: pairs per ThreadPool scheduling chunk; 0 = automatic
   /// (tiny steps run inline on the calling thread).
   std::size_t grain = 0;
+  /// Exact power-of-two input equilibration (svd/equilibrate.hpp). kAuto
+  /// rescales only when the entry magnitudes endanger the squared-norm
+  /// pipeline (a no-op on well-scaled inputs); the scaling is bitwise
+  /// transparent — sigma, U, V and sweep counts match the unequilibrated run
+  /// exactly whenever that run stays in range.
+  EquilibrateMode equilibrate = EquilibrateMode::kAuto;
+  /// Engine-level convergence watchdog (svd/recovery.hpp): when > 0, a
+  /// sweep-activity plateau of this many sweeps forces a full norm
+  /// re-reduction (the only repairable source of stagnation). 0 disables the
+  /// active repair; the *observational* stall classifier below still runs.
+  int watchdog_sweeps = 0;
+  /// Trailing window of the always-on stall classifier: a non-converged run
+  /// whose activity failed to decrease for this many final sweeps reports
+  /// SvdStatus::kStalled instead of kMaxSweeps. Purely diagnostic — it never
+  /// changes the iteration.
+  int stall_window = 4;
+  /// Compute the heavy quality diagnostics (scaled residual, orthonormality
+  /// defects; an extra O(mn^2)) even when the run converged. They are always
+  /// computed for non-converged runs.
+  bool full_diagnostics = false;
 };
 
 struct SvdResult {
@@ -63,6 +84,13 @@ struct SvdResult {
   std::size_t swaps = 0;     ///< sorting interchanges (fused into rotations)
   std::vector<double> off_history;  ///< off(A^T A) per sweep when tracked
   KernelStats kernel_stats;  ///< debug pass counters from the pair kernels
+  /// Machine-readable classification of how the iteration ended; kConverged
+  /// iff `converged`. Non-converged results are still best-effort
+  /// factorizations — consult `diagnostics` for how much to trust them.
+  SvdStatus status = SvdStatus::kMaxSweeps;
+  /// Quality/provenance diagnostics (see svd/status.hpp for which fields are
+  /// filled in when).
+  SvdDiagnostics diagnostics;
 
   /// Number of singular values above rank_tol * sigma_max.
   std::size_t rank(double rank_tol = 1e-12) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "svd/equilibrate.hpp"
 #include "svd/recovery.hpp"
 #include "util/require.hpp"
 
@@ -69,6 +70,8 @@ KogbetliantzResult kogbetliantz_svd(const Matrix& a, const Ordering& ordering,
     for (std::size_t i = 0; i < n0; ++i) work(i, j) = a(i, j);
   // Pad diagonal with zeros: exact singular values 0, inert under the
   // threshold (their rows/columns stay zero).
+  const Equilibration eq = equilibrate(work, options.equilibrate);
+  StallDetector stall(options.stall_window);
 
   Matrix u = options.compute_uv ? Matrix::identity(np) : Matrix();
   Matrix v = options.compute_uv ? Matrix::identity(np) : Matrix();
@@ -152,6 +155,7 @@ KogbetliantzResult kogbetliantz_svd(const Matrix& a, const Ordering& ordering,
       r.converged = true;
       break;
     }
+    stall.observe(static_cast<double>(sweep_rot));
   }
 
   // Extraction: sigma = |diag|, signs folded into U; drop the padding; sort.
@@ -178,6 +182,14 @@ KogbetliantzResult kogbetliantz_svd(const Matrix& a, const Ordering& ordering,
       r.v(k, out) = v(k, src);
     }
   }
+  unscale_sigma(r.sigma, eq);
+
+  r.status = r.converged ? SvdStatus::kConverged
+                         : (stall.stalled() ? SvdStatus::kStalled : SvdStatus::kMaxSweeps);
+  r.diagnostics.input_scale = eq.stats;
+  r.diagnostics.equilibrated = eq.applied;
+  r.diagnostics.equilibration_exponent = eq.exponent;
+  r.diagnostics.stalled_sweeps = stall.streak();
   return r;
 }
 

@@ -26,6 +26,12 @@ struct KogbetliantzOptions {
   bool compute_uv = true;
   bool sort_descending = true;
   bool track_off = false;  ///< record off(A)/||A|| per sweep
+  /// Robustness knobs, as in JacobiOptions: exact power-of-two input
+  /// equilibration (keeps the off_fraction sums and the threshold scale
+  /// finite at extreme entry magnitudes) and the observational stall window
+  /// for the status classification.
+  EquilibrateMode equilibrate = EquilibrateMode::kAuto;
+  int stall_window = 4;
 };
 
 struct KogbetliantzResult {
@@ -36,6 +42,9 @@ struct KogbetliantzResult {
   bool converged = false;
   std::size_t rotations = 0;
   std::vector<double> off_history;
+  /// Graceful-degradation classification, as on SvdResult.
+  SvdStatus status = SvdStatus::kMaxSweeps;
+  SvdDiagnostics diagnostics;
 };
 
 /// Two-sided Jacobi SVD of a *square* matrix using the given parallel

@@ -6,12 +6,12 @@ namespace treesvd {
 
 void NormCache::refresh(const Matrix& a) {
   sq_.resize(a.cols());
-  for (std::size_t j = 0; j < a.cols(); ++j) sq_[j] = sumsq(a.col(j));
+  for (std::size_t j = 0; j < a.cols(); ++j) sq_[j] = sumsq_robust(a.col(j));
   counters_.add_norm_refresh(a.cols());
 }
 
 void NormCache::refresh_column(const Matrix& a, std::size_t j) {
-  sq_[j] = sumsq(a.col(j));
+  sq_[j] = sumsq_robust(a.col(j));
   counters_.add_norm_refresh();
 }
 

@@ -18,6 +18,7 @@
 #include "linalg/rotation.hpp"
 #include "svd/jacobi.hpp"
 #include "svd/norm_cache.hpp"
+#include "svd/recovery.hpp"
 
 namespace treesvd::detail {
 
@@ -84,15 +85,43 @@ inline CachedPairOutcome process_pair_columns_cached(std::span<double> x, std::s
                                                      const JacobiOptions& opt,
                                                      KernelCounters& counters) {
   counters.add_pair();
-  const double apq = dot(x, y);
+  double apq = dot(x, y);
   counters.add_dot();
+  // Overflowed dot accumulation (entries beyond ~1e154): retry with the
+  // exact power-of-two prescaled form before deciding anything from it.
+  if (!std::isfinite(apq)) apq = dot_scaled(x, y);
+
+  // An implausible cached norm (non-finite or negative — an overflowed
+  // accumulation or a corrupted payload) cannot support any decision:
+  // re-reduce from the data before using it.
+  if (!cached_norm_plausible(app) || !cached_norm_plausible(aqq)) {
+    app = sumsq_robust(x);
+    aqq = sumsq_robust(y);
+    counters.add_norm_refresh(2);
+  }
 
   double thresh = opt.tol * std::sqrt(app) * std::sqrt(aqq);
   const double mag = std::fabs(apq);
-  if (mag > 0.0 && mag <= kNormDriftGuard * thresh && mag * kNormDriftGuard >= thresh) {
+  // Drift guard, relative to the cached scale: re-examine the decision
+  // exactly when mag/thresh lies in [1/kNormDriftGuard, kNormDriftGuard].
+  // The ratio form keeps the window meaningful at extreme column scales,
+  // where the absolute products kNormDriftGuard*thresh / mag*kNormDriftGuard
+  // can overflow — and when thresh underflows to zero outright (tiny
+  // columns), a nonzero coupling now always re-reduces instead of silently
+  // skipping the guard.
+  bool near_threshold = false;
+  if (mag > 0.0) {
+    if (thresh > 0.0 && std::isfinite(thresh)) {
+      const double ratio = mag / thresh;
+      near_threshold = ratio <= kNormDriftGuard && ratio * kNormDriftGuard >= 1.0;
+    } else {
+      near_threshold = true;  // degenerate threshold: decide from fresh data
+    }
+  }
+  if (near_threshold) {
     // Near the threshold the decision is sensitive to norm error: re-reduce.
-    app = sumsq(x);
-    aqq = sumsq(y);
+    app = sumsq_robust(x);
+    aqq = sumsq_robust(y);
     counters.add_norm_refresh(2);
     thresh = opt.tol * std::sqrt(app) * std::sqrt(aqq);
   }

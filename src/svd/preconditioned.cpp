@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/qr.hpp"
+#include "svd/equilibrate.hpp"
 #include "svd/recovery.hpp"
 #include "util/require.hpp"
 
@@ -13,7 +14,13 @@ SvdResult qr_preconditioned_jacobi(const Matrix& a, const Ordering& ordering,
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "qr_preconditioned_jacobi expects m >= n >= 2");
   require_finite_columns(a, "qr_preconditioned_jacobi");
-  const HouseholderQr qr(a);
+  // Equilibrate before the QR: the Householder reflector applications form
+  // dot products of the raw entries, so extreme scales must be tamed here,
+  // not just inside the inner Jacobi. The R factor inherits the scaled range,
+  // so the inner engine's own kAuto pass is then a no-op.
+  Matrix a_scaled = a;
+  const Equilibration eq = equilibrate(a_scaled, options.equilibrate);
+  const HouseholderQr qr(a_scaled);
   const Matrix r_factor = qr.r();
 
   SvdResult r = one_sided_jacobi(r_factor, ordering, options);
@@ -27,6 +34,13 @@ SvdResult qr_preconditioned_jacobi(const Matrix& a, const Ordering& ordering,
   }
   qr.apply_q(u_full);
   r.u = std::move(u_full);
+
+  // Undo the outer scaling (exact) and report the original input's dynamic
+  // range; the inner run's sigma already had its own (no-op) scaling undone.
+  unscale_sigma(r.sigma, eq);
+  r.diagnostics.input_scale = eq.stats;
+  r.diagnostics.equilibrated = eq.applied || r.diagnostics.equilibrated;
+  r.diagnostics.equilibration_exponent += eq.exponent;
   return r;
 }
 

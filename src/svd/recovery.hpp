@@ -72,6 +72,37 @@ class ConvergenceWatchdog {
   bool has_prev_ = false;
 };
 
+/// Always-on, purely observational stall classifier. Unlike the watchdog it
+/// never triggers repairs or perturbs the iteration: engines feed it the
+/// per-sweep activity and consult it only at exit, to distinguish a run that
+/// hit max_sweeps while still making progress (SvdStatus::kMaxSweeps) from
+/// one whose activity stopped decreasing (SvdStatus::kStalled — more sweeps
+/// would not have helped). Trivially copyable so spmd/distributed can carry
+/// it in their sweep checkpoints.
+class StallDetector {
+ public:
+  StallDetector() = default;
+  explicit StallDetector(int window) : window_(window) {}
+
+  void observe(double activity) noexcept {
+    const bool flat = activity > 0.0 && has_prev_ && activity >= prev_;
+    prev_ = activity;
+    has_prev_ = true;
+    streak_ = flat ? streak_ + 1 : 0;
+  }
+
+  /// True when the trailing `window` sweeps all failed to decrease activity.
+  bool stalled() const noexcept { return window_ > 0 && streak_ >= window_; }
+  /// Length of the trailing non-decreasing streak (diagnostics).
+  int streak() const noexcept { return streak_; }
+
+ private:
+  int window_ = 4;
+  int streak_ = 0;
+  double prev_ = 0.0;
+  bool has_prev_ = false;
+};
+
 /// Fast-fail input guard: throws std::invalid_argument naming the first
 /// column that contains a NaN or Inf entry. Every SVD engine calls this up
 /// front, so poisoned inputs fail precisely instead of iterating to

@@ -7,6 +7,7 @@
 
 #include "linalg/blas1.hpp"
 #include "mp/message_passing.hpp"
+#include "svd/equilibrate.hpp"
 #include "svd/pair_kernel.hpp"
 #include "util/require.hpp"
 
@@ -38,6 +39,7 @@ struct RankCheckpoint {
   std::size_t swap = 0;         ///< swaps accumulated so far
   KernelStats kernels;          ///< this rank's kernel counters at the boundary
   ConvergenceWatchdog watchdog{0};
+  StallDetector stall;          ///< observational status classifier state
 };
 
 }  // namespace
@@ -58,8 +60,16 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   const std::size_t rows = a.rows();
   const int ranks = n / 2;
 
-  const RecoveryOptions recovery = transport != nullptr ? transport->recovery : RecoveryOptions{};
+  RecoveryOptions recovery = transport != nullptr ? transport->recovery : RecoveryOptions{};
+  // Without a transport, the engine-level watchdog knob applies (a transport
+  // brings its own RecoveryOptions, which chaos replay depends on).
+  if (transport == nullptr) recovery.watchdog_sweeps = options.watchdog_sweeps;
   const bool chaos = transport != nullptr;
+
+  // Equilibration happens once, before the scatter, so every rank works at
+  // the same exact power-of-two scale and the hsq payloads stay finite.
+  Matrix a_eq = a;
+  const Equilibration eq = equilibrate(a_eq, options.equilibrate);
   const bool checkpointing = chaos && recovery.checkpoint_sweeps > 0;
 
   mp::World world(ranks);
@@ -76,6 +86,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   std::size_t total_rotations = 0;
   std::size_t total_swaps = 0;
   bool converged = false;
+  StallDetector final_stall(options.stall_window);
   std::mutex totals_mu;
   // Per-rank kernel counters: checkpointable (a shared set could not be
   // rolled back to a boundary while other ranks race ahead); the final
@@ -96,6 +107,9 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
     SlotState slot[2];
     std::vector<int> layout(static_cast<std::size_t>(n));
     ConvergenceWatchdog watchdog(recovery.watchdog_sweeps);
+    // Replicated control: every rank feeds the same collective activity, so
+    // the classifier state is identical everywhere; rank 0 publishes it.
+    StallDetector stall(options.stall_window);
     int sweep = 0;
     std::size_t my_rot = 0;
     std::size_t my_swap = 0;
@@ -105,14 +119,14 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
         slot[k].label = s;
         slot[k].h.assign(rows, 0.0);
         if (s < n0) {
-          const auto src = a.col(static_cast<std::size_t>(s));
+          const auto src = a_eq.col(static_cast<std::size_t>(s));
           std::copy(src.begin(), src.end(), slot[k].h.begin());
         }
         if (options.compute_v) {
           slot[k].v.assign(static_cast<std::size_t>(n), 0.0);
           slot[k].v[static_cast<std::size_t>(s)] = 1.0;
         }
-        slot[k].hsq = sumsq(slot[k].h);
+        slot[k].hsq = sumsq_robust(slot[k].h);
       }
       counters.add_norm_refresh(2);
       // Every rank derives the identical schedule (SPMD-style replicated
@@ -133,6 +147,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       my_swap = cp->swap;
       counters.store(cp->kernels);
       watchdog = cp->watchdog;
+      stall = cp->stall;
     }
 
     bool done = false;
@@ -153,6 +168,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
           cp.swap = my_swap;
           cp.kernels = counters.snapshot();
           cp.watchdog = watchdog;
+          cp.stall = stall;
           ring.push_back(std::move(cp));
           if (ring.size() > 2) ring.erase(ring.begin());
           if (me == 0) rc.add_checkpoint();
@@ -162,7 +178,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       // rank re-reduces its resident columns.
       if (options.cache_norms && sweep > 0 && options.norm_recompute_sweeps > 0 &&
           sweep % options.norm_recompute_sweeps == 0) {
-        for (auto& sl : slot) sl.hsq = sumsq(sl.h);
+        for (auto& sl : slot) sl.hsq = sumsq_robust(sl.h);
         counters.add_norm_refresh(2);
       }
       const Sweep s = ordering.sweep_from(layout, sweep);
@@ -257,7 +273,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
               // data is not, and fails fast naming the column.
               require_finite_payload(next[k].h, next[k].label, "spmd_jacobi");
               if (options.cache_norms && !cached_norm_plausible(next[k].hsq)) {
-                next[k].hsq = sumsq(next[k].h);
+                next[k].hsq = sumsq_robust(next[k].h);
                 counters.add_norm_refresh();
                 rc.add_norm_rereduction();
               }
@@ -274,6 +290,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       my_rot += sweep_rot;
       my_swap += sweep_swap;
       if (active == 0.0) done = true;
+      if (!done) stall.observe(active);
       // Stagnation watchdog: the collectively agreed activity measure has
       // stopped decreasing — re-reduce the cached norms (the only repairable
       // stagnation source) instead of letting drift propagate. Every rank
@@ -281,7 +298,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       // a new collective.
       if (!done && watchdog.observe(active)) {
         if (options.cache_norms) {
-          for (auto& sl : slot) sl.hsq = sumsq(sl.h);
+          for (auto& sl : slot) sl.hsq = sumsq_robust(sl.h);
           counters.add_norm_refresh(2);
           rc.add_norm_rereduction(2);
         }
@@ -298,6 +315,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       total_swaps += my_swap;
       final_sweeps = sweep;
       converged = done;
+      if (me == 0) final_stall = stall;
     }
   };
 
@@ -363,6 +381,18 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n0), dst.begin());
     }
   }
+  // U was divided out at the equilibrated scale (the 2^e factor cancels
+  // bitwise); only sigma carries the scale and is undone exactly here.
+  unscale_sigma(r.sigma, eq);
+  r.status = r.converged ? SvdStatus::kConverged
+                         : (final_stall.stalled() ? SvdStatus::kStalled : SvdStatus::kMaxSweeps);
+  r.diagnostics.input_scale = eq.stats;
+  r.diagnostics.equilibrated = eq.applied;
+  r.diagnostics.equilibration_exponent = eq.exponent;
+  r.diagnostics.stalled_sweeps = final_stall.streak();
+  r.diagnostics.watchdog_trips = world.recovery_stats().watchdog_trips;
+  if (!r.converged || options.full_diagnostics)
+    assess_quality(a, r, eq.exponent, options.rank_tol);
   return r;
 }
 

@@ -1,0 +1,86 @@
+#include "svd/status.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas1.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+
+const char* to_string(SvdStatus status) noexcept {
+  switch (status) {
+    case SvdStatus::kConverged: return "converged";
+    case SvdStatus::kMaxSweeps: return "max-sweeps";
+    case SvdStatus::kStalled: return "stalled";
+  }
+  return "unknown";
+}
+
+ScaleStats scan_scale(const Matrix& a) noexcept {
+  ScaleStats s;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (const double v : a.col(j)) {
+      const double mag = std::fabs(v);
+      if (mag == 0.0) {
+        ++s.zero_entries;
+        continue;
+      }
+      if (mag > s.max_abs) s.max_abs = mag;
+      if (s.min_abs_nonzero == 0.0 || mag < s.min_abs_nonzero) s.min_abs_nonzero = mag;
+    }
+  }
+  if (s.max_abs > 0.0) {
+    s.max_exponent = std::ilogb(s.max_abs);
+    s.min_exponent = std::ilogb(s.min_abs_nonzero);
+  }
+  return s;
+}
+
+void assess_quality(const Matrix& a, SvdResult& result, int exponent, double rank_tol) {
+  SvdDiagnostics& d = result.diagnostics;
+
+  // Evaluate the residual at the equilibrated scale: both A and sigma are
+  // multiplied by the same exact power of two, which keeps the Frobenius
+  // sums finite for inputs whose squared entries would overflow, and leaves
+  // the *ratio* unchanged.
+  const std::size_t n = result.sigma.size();
+  if (!result.v.empty() && result.u.cols() == n && result.v.cols() == n) {
+    Matrix a_s = a;
+    for (std::size_t j = 0; j < a_s.cols(); ++j)
+      for (double& v : a_s.col(j)) v = std::ldexp(v, exponent);
+    std::vector<double> sigma_s(n);
+    for (std::size_t k = 0; k < n; ++k) sigma_s[k] = std::ldexp(result.sigma[k], exponent);
+    const double fro = a_s.frobenius_norm();
+    const double err = reconstruction_error(a_s, result.u, sigma_s, result.v);
+    d.scaled_residual = fro > 0.0 ? err / fro : (err > 0.0 ? err : 0.0);
+  }
+
+  // Orthonormality defects. U is only orthonormal on the columns whose
+  // singular value survived the rank threshold (the rest are exactly zero by
+  // the engines' U-formation contract), so the defect is restricted to those.
+  const double smax =
+      n > 0 ? *std::max_element(result.sigma.begin(), result.sigma.end()) : 0.0;
+  double u_defect = 0.0;
+  for (std::size_t i = 0; i < result.u.cols(); ++i) {
+    if (i < n && !(result.sigma[i] > rank_tol * smax && result.sigma[i] > 0.0)) continue;
+    for (std::size_t j = i; j < result.u.cols(); ++j) {
+      if (j < n && !(result.sigma[j] > rank_tol * smax && result.sigma[j] > 0.0)) continue;
+      const double g = dot(result.u.col(i), result.u.col(j));
+      u_defect = std::max(u_defect, std::fabs(g - (i == j ? 1.0 : 0.0)));
+    }
+  }
+  d.u_defect = u_defect;
+
+  if (!result.v.empty()) {
+    double v_defect = 0.0;
+    for (std::size_t i = 0; i < result.v.cols(); ++i)
+      for (std::size_t j = i; j < result.v.cols(); ++j) {
+        const double g = dot(result.v.col(i), result.v.col(j));
+        v_defect = std::max(v_defect, std::fabs(g - (i == j ? 1.0 : 0.0)));
+      }
+    d.v_defect = v_defect;
+  }
+}
+
+}  // namespace treesvd
