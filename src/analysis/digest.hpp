@@ -1,0 +1,46 @@
+#pragma once
+// Bitwise digests for the determinism oracle.
+//
+// FNV-1a 64 over exact bit patterns: two SvdResults digest equal iff every
+// covered field is bit-identical, which is precisely the repo's
+// "threaded/SPMD == serial" contract (no tolerance, no rounding slack).
+// Doubles are hashed via their IEEE-754 bit images, so -0.0 != +0.0 and every
+// NaN payload is distinguished — a digest match is the strongest possible
+// equality claim.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace treesvd::analysis {
+
+class Fnv1a {
+ public:
+  void add_bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+
+  void add_u64(std::uint64_t v) noexcept { add_bytes(&v, sizeof(v)); }
+
+  void add_double(double d) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    add_u64(bits);
+  }
+
+  void add_doubles(std::span<const double> values) noexcept {
+    for (const double d : values) add_double(d);
+  }
+
+  std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace treesvd::analysis

@@ -1,0 +1,313 @@
+#include "analysis/hb.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace treesvd::analysis {
+namespace {
+
+std::atomic<Tracker*> g_tracker{nullptr};
+
+/// Monotonic instance ids let the thread-local task stacks detect a stale
+/// owner even when a new Tracker reuses a dead one's address.
+std::atomic<std::uint64_t> g_instance{0};
+
+using Clock = std::vector<std::uint64_t>;
+
+/// Components beyond a clock's length are zero (tasks created later).
+std::uint64_t component(const Clock& c, std::size_t i) noexcept {
+  return i < c.size() ? c[i] : 0;
+}
+
+void merge_into(Clock& dst, const Clock& src) {
+  if (src.size() > dst.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+struct ThreadState {
+  std::uint64_t owner = 0;  ///< Tracker instance id the stack belongs to
+  std::vector<int> stack;   ///< logical-task stack of this OS thread
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+const char* to_string(AccessKind kind) noexcept {
+  switch (kind) {
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+    case AccessKind::kAtomic:
+      return "atomic";
+  }
+  return "?";
+}
+
+std::string RaceReport::to_string() const {
+  const auto render = [](const AccessRecord& a) {
+    std::string s = std::string(analysis::to_string(a.kind)) + " at " + a.site + " [task " +
+                    std::to_string(a.task);
+    for (const std::string& f : a.stack) s += " / " + f;
+    s += "]";
+    return s;
+  };
+  return "data race on " + object + "[" + std::to_string(index) + "]: " + render(first) + " vs " +
+         render(second);
+}
+
+struct Tracker::Impl {
+  struct Task {
+    Clock clock;
+    std::vector<std::string> frames;
+  };
+  struct ForkPoint {
+    Clock clock;
+    std::vector<std::string> frames;
+  };
+  struct Location {
+    std::string name;
+    bool has_write = false;
+    AccessRecord write;                  ///< last plain write (clears the sets)
+    std::map<int, AccessRecord> reads;   ///< last read per task since the write
+    std::map<int, AccessRecord> atomics; ///< last atomic per task since the write
+  };
+
+  using Key = std::pair<const void*, std::uint64_t>;
+  using ChannelKey = std::tuple<const void*, int, int, std::uint64_t>;
+
+  mutable std::mutex mu;
+  std::uint64_t id = 0;
+  std::vector<Task> tasks;
+  std::map<Key, ForkPoint> forks;
+  std::map<Key, Clock> joins;
+  std::map<Key, Clock> barriers;
+  std::map<ChannelKey, std::deque<Clock>> channels;
+  std::map<std::pair<const void*, std::size_t>, Location> locations;
+  std::vector<RaceReport> races;
+  std::set<std::tuple<const void*, std::size_t, std::string, std::string>> seen;
+  std::size_t race_total = 0;
+  std::size_t events = 0;
+
+  int new_task(Clock clock, std::vector<std::string> frames) {
+    const auto t = tasks.size();
+    if (clock.size() <= t) clock.resize(t + 1, 0);
+    clock[t] = 1;  // fresh component: nobody has seen this task yet
+    tasks.push_back(Task{std::move(clock), std::move(frames)});
+    return static_cast<int>(t);
+  }
+
+  /// The calling thread's current logical task, creating a root task on
+  /// first contact (or after a tracker change).
+  int current_task() {
+    ThreadState& ts = thread_state();
+    if (ts.owner != id) {
+      ts.owner = id;
+      ts.stack.clear();
+    }
+    if (ts.stack.empty()) ts.stack.push_back(new_task(Clock{}, {"thread root"}));
+    return ts.stack.back();
+  }
+
+  Task& task(int t) { return tasks[static_cast<std::size_t>(t)]; }
+
+  /// Advance a task's own component so accesses after a release point (fork,
+  /// send, barrier arrival) are not mistaken for accesses before it.
+  void tick(int t) {
+    Task& tk = task(t);
+    const auto i = static_cast<std::size_t>(t);
+    if (tk.clock.size() <= i) tk.clock.resize(i + 1, 0);
+    ++tk.clock[i];
+  }
+
+  bool ordered_before(const AccessRecord& a, int cur) {
+    return a.tick <= component(task(cur).clock, static_cast<std::size_t>(a.task));
+  }
+
+  void report(const void* obj, std::size_t index, const Location& loc, const AccessRecord& prior,
+              const AccessRecord& now) {
+    ++race_total;
+    if (!seen.insert({obj, index, prior.site, now.site}).second) return;
+    if (races.size() >= Tracker::kMaxReports) return;
+    races.push_back(RaceReport{loc.name, index, prior, now});
+  }
+};
+
+Tracker::Tracker() : impl_(new Impl) { impl_->id = ++g_instance; }
+
+Tracker::~Tracker() { delete impl_; }
+
+void Tracker::fork(const void* region, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int cur = impl_->current_task();
+  impl_->forks[{region, epoch}] =
+      Impl::ForkPoint{impl_->task(cur).clock, impl_->task(cur).frames};
+  impl_->tick(cur);
+  ++impl_->events;
+}
+
+void Tracker::task_begin(const void* region, std::uint64_t epoch, std::string frame) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ThreadState& ts = thread_state();
+  if (ts.owner != impl_->id) {
+    ts.owner = impl_->id;
+    ts.stack.clear();
+  }
+  Clock clock;
+  std::vector<std::string> frames;
+  const auto it = impl_->forks.find({region, epoch});
+  if (it != impl_->forks.end()) {
+    clock = it->second.clock;
+    frames = it->second.frames;
+  } else if (!ts.stack.empty()) {
+    // No fork seen (e.g. the region started before the tracker was
+    // installed): inherit from the thread's current task.
+    clock = impl_->task(ts.stack.back()).clock;
+    frames = impl_->task(ts.stack.back()).frames;
+  }
+  frames.push_back(std::move(frame));
+  ts.stack.push_back(impl_->new_task(std::move(clock), std::move(frames)));
+  ++impl_->events;
+}
+
+void Tracker::task_end(const void* region, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ThreadState& ts = thread_state();
+  if (ts.owner != impl_->id || ts.stack.empty()) return;  // tolerant: nothing to end
+  const int t = ts.stack.back();
+  merge_into(impl_->joins[{region, epoch}], impl_->task(t).clock);
+  ts.stack.pop_back();
+  ++impl_->events;
+}
+
+void Tracker::join(const void* region, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int cur = impl_->current_task();
+  const auto it = impl_->joins.find({region, epoch});
+  if (it != impl_->joins.end()) {
+    merge_into(impl_->task(cur).clock, it->second);
+    impl_->joins.erase(it);
+  }
+  impl_->forks.erase({region, epoch});
+  ++impl_->events;
+}
+
+void Tracker::channel_send(const void* channel, int src, int dst, std::uint64_t tag) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int cur = impl_->current_task();
+  impl_->channels[{channel, src, dst, tag}].push_back(impl_->task(cur).clock);
+  impl_->tick(cur);
+  ++impl_->events;
+}
+
+void Tracker::channel_recv(const void* channel, int src, int dst, std::uint64_t tag) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int cur = impl_->current_task();
+  auto it = impl_->channels.find({channel, src, dst, tag});
+  if (it != impl_->channels.end() && !it->second.empty()) {
+    merge_into(impl_->task(cur).clock, it->second.front());
+    it->second.pop_front();
+  }
+  ++impl_->events;
+}
+
+void Tracker::barrier_arrive(const void* object, std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int cur = impl_->current_task();
+  merge_into(impl_->barriers[{object, generation}], impl_->task(cur).clock);
+  impl_->tick(cur);
+  ++impl_->events;
+}
+
+void Tracker::barrier_depart(const void* object, std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int cur = impl_->current_task();
+  const auto it = impl_->barriers.find({object, generation});
+  if (it != impl_->barriers.end()) merge_into(impl_->task(cur).clock, it->second);
+  ++impl_->events;
+}
+
+void Tracker::access(AccessKind kind, const void* object, std::size_t index,
+                     const char* object_name, const char* site) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const int cur = impl_->current_task();
+  AccessRecord rec;
+  rec.task = cur;
+  rec.tick = component(impl_->task(cur).clock, static_cast<std::size_t>(cur));
+  rec.kind = kind;
+  rec.site = site;
+  rec.stack = impl_->task(cur).frames;
+
+  Impl::Location& loc = impl_->locations[{object, index}];
+  if (loc.name.empty()) loc.name = object_name;
+
+  const auto conflicts = [&](const AccessRecord& prior) {
+    return prior.task != cur && !impl_->ordered_before(prior, cur);
+  };
+
+  if (kind == AccessKind::kWrite) {
+    // A plain write conflicts with any unordered prior access of any kind.
+    if (loc.has_write && conflicts(loc.write)) impl_->report(object, index, loc, loc.write, rec);
+    for (const auto& entry : loc.reads)
+      if (conflicts(entry.second)) impl_->report(object, index, loc, entry.second, rec);
+    for (const auto& entry : loc.atomics)
+      if (conflicts(entry.second)) impl_->report(object, index, loc, entry.second, rec);
+    loc.reads.clear();
+    loc.atomics.clear();
+    loc.write = std::move(rec);
+    loc.has_write = true;
+  } else {
+    // Reads and atomics conflict only with an unordered plain write.
+    if (loc.has_write && conflicts(loc.write)) impl_->report(object, index, loc, loc.write, rec);
+    auto& slot = kind == AccessKind::kRead ? loc.reads : loc.atomics;
+    slot[cur] = std::move(rec);
+  }
+  ++impl_->events;
+}
+
+void Tracker::push_frame(std::string text) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->task(impl_->current_task()).frames.push_back(std::move(text));
+}
+
+void Tracker::pop_frame() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& frames = impl_->task(impl_->current_task()).frames;
+  if (!frames.empty()) frames.pop_back();
+}
+
+std::vector<RaceReport> Tracker::reports() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->races;
+}
+
+std::size_t Tracker::race_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->race_total;
+}
+
+std::size_t Tracker::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events;
+}
+
+std::size_t Tracker::task_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->tasks.size();
+}
+
+Tracker* tracker() noexcept { return g_tracker.load(std::memory_order_acquire); }
+
+void install_tracker(Tracker* t) noexcept { g_tracker.store(t, std::memory_order_release); }
+
+}  // namespace treesvd::analysis

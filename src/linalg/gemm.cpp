@@ -8,6 +8,7 @@
 #include <mutex>
 #include <utility>
 
+#include "analysis/hooks.hpp"
 #include "linalg/blas1.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
@@ -144,6 +145,7 @@ void gemm_into(Matrix& c, const Matrix& a, const Matrix& b, ThreadPool* pool,
   // C tile, loops the depth blocks, and packs into its own local buffers
   // (the redundant packing is amortised over mc*nc*kc flops per block).
   const auto tile_task = [&](std::size_t t) {
+    TREESVD_HB_WRITE(&c, t, "gemm C tile");
     const std::size_t ti = t % mtiles;
     const std::size_t tj = t / mtiles;
     const std::size_t i0 = ti * mc;
@@ -236,6 +238,7 @@ Matrix gram_panel(const Matrix& a, std::span<const int> cols, ThreadPool* pool) 
   std::vector<double> partial(chunks * kw * kw, 0.0);
 
   const auto task = [&](std::size_t t) {
+    TREESVD_HB_WRITE(partial.data(), t, "gram_panel partial");
     const std::size_t r0 = t * kChunk;
     const std::size_t len = std::min(kChunk, m - r0);
     double* __restrict part = partial.data() + t * kw * kw;
@@ -251,6 +254,7 @@ Matrix gram_panel(const Matrix& a, std::span<const int> cols, ThreadPool* pool) 
 
   // Fixed chunk order keeps the reduction bitwise-deterministic.
   for (std::size_t t = 0; t < chunks; ++t) {
+    TREESVD_HB_READ(partial.data(), t, "gram_panel partial");
     const double* part = partial.data() + t * kw * kw;
     for (std::size_t i = 0; i < kw; ++i)
       for (std::size_t j = i; j < kw; ++j) g(i, j) += part[i * kw + j];
@@ -295,6 +299,7 @@ std::vector<double> apply_panel_update(Matrix& a, std::span<const int> cols, con
   // L1-resident pass — each panel element is read and written once per
   // apply, with K fused multiply-adds of compute per element.
   const auto task = [&](std::size_t t) {
+    TREESVD_HB_WRITE(partial.data(), t, "panel_update partial");
     const std::size_t r0 = t * kChunk;
     const std::size_t len = std::min(kChunk, m - r0);
     std::vector<double> buf(len * kw);
@@ -314,8 +319,10 @@ std::vector<double> apply_panel_update(Matrix& a, std::span<const int> cols, con
   dispatch(chunks, m * kw * kw, pool, task);
 
   std::vector<double> sums(kw, 0.0);
-  for (std::size_t t = 0; t < chunks; ++t)
+  for (std::size_t t = 0; t < chunks; ++t) {
+    TREESVD_HB_READ(partial.data(), t, "panel_update partial");
     for (std::size_t j = 0; j < kw; ++j) sums[j] += partial[t * kw + j];
+  }
   // Overflow repair for the fused norms, mirroring gram_panel: recompute a
   // non-finite squared norm with dnrm2-style scaled accumulation (still Inf
   // if the true value genuinely exceeds the double range — honest overflow).

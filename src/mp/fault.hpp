@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/hooks.hpp"
+
 namespace treesvd::mp {
 
 /// Seeded, fully deterministic fault schedule for a World.
@@ -124,6 +126,7 @@ class RecoveryCounters {
   void add_stall() noexcept { bump(stalls_); }
   void add_corruption_detected() noexcept { bump(corrupts_detected_); }
   void add_duplicate_suppressed(std::size_t k = 1) noexcept {
+    TREESVD_HB_ATOMIC(this, 0, "RecoveryCounters");
     dups_suppressed_.fetch_add(k, std::memory_order_relaxed);
   }
   void add_retry() noexcept { bump(retries_); }
@@ -132,9 +135,11 @@ class RecoveryCounters {
   void add_rollback() noexcept { bump(rollbacks_); }
   void add_watchdog_trip() noexcept { bump(watchdog_trips_); }
   void add_norm_rereduction(std::size_t k = 1) noexcept {
+    TREESVD_HB_ATOMIC(this, 0, "RecoveryCounters");
     norm_rereductions_.fetch_add(k, std::memory_order_relaxed);
   }
   void add_virtual_backoff(double t) noexcept {
+    TREESVD_HB_ATOMIC(this, 0, "RecoveryCounters");
     // CAS loop: fetch_add on atomic<double> is C++20 but patchy pre-GCC-12.
     double cur = backoff_.load(std::memory_order_relaxed);
     while (!backoff_.compare_exchange_weak(cur, cur + t, std::memory_order_relaxed)) {
@@ -142,6 +147,7 @@ class RecoveryCounters {
   }
 
   RecoveryStats snapshot() const noexcept {
+    TREESVD_HB_ATOMIC(this, 0, "RecoveryCounters");
     RecoveryStats s;
     s.drops_seen = drops_.load(std::memory_order_relaxed);
     s.duplicates_injected = dups_injected_.load(std::memory_order_relaxed);
@@ -162,7 +168,11 @@ class RecoveryCounters {
   }
 
  private:
-  static void bump(std::atomic<std::size_t>& c) noexcept {
+  /// Every bump is declared to the race detector as a relaxed atomic on this
+  /// counter block: concurrent ranks may tick freely, but an unsynchronised
+  /// plain write (there is none today) would be flagged.
+  void bump(std::atomic<std::size_t>& c) noexcept {
+    TREESVD_HB_ATOMIC(this, 0, "RecoveryCounters");
     c.fetch_add(1, std::memory_order_relaxed);
   }
   std::atomic<std::size_t> drops_{0}, dups_injected_{0}, corrupts_injected_{0}, delays_{0},

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstring>
 #include <exception>
+#include <string>
 #include <thread>
 
+#include "analysis/hooks.hpp"
 #include "util/require.hpp"
 
 namespace treesvd::mp {
@@ -106,6 +108,11 @@ void Context::send(int dst, std::uint64_t tag, std::vector<double> data) {
   TREESVD_REQUIRE(dst >= 0 && dst < size(), "send: destination rank out of range");
   TREESVD_REQUIRE(dst != rank_, "send: send-to-self is not allowed (use local state)");
   check_rank_faults();
+  // Sender's clock rides the message: publish it before the frame is
+  // enqueued so the matching recv edge is never beaten by the delivery.
+  TREESVD_FUZZ_POINT(analysis::kFuzzMpSend, static_cast<std::uint64_t>(rank_),
+                     static_cast<std::uint64_t>(dst), tag ^ hook_ops_++);
+  TREESVD_HB_SEND(world_, rank_, dst, tag);
   world_->deliver(dst, rank_, tag, std::move(data));
 }
 
@@ -113,22 +120,31 @@ std::vector<double> Context::recv(int src, std::uint64_t tag) {
   TREESVD_REQUIRE(src >= 0 && src < size(), "recv: source rank out of range");
   TREESVD_REQUIRE(src != rank_, "recv: receive-from-self would block forever");
   check_rank_faults();
-  return world_->take(rank_, src, tag);
+  TREESVD_FUZZ_POINT(analysis::kFuzzMpRecv, static_cast<std::uint64_t>(src),
+                     static_cast<std::uint64_t>(rank_), tag ^ hook_ops_++);
+  std::vector<double> payload = world_->take(rank_, src, tag);
+  // FIFO edge: merge the clock the matching send published (messages of one
+  // (src, tag) stream arrive in send order, mirroring the mailbox contract).
+  TREESVD_HB_RECV(world_, src, rank_, tag);
+  return payload;
 }
 
 void Context::barrier() {
   check_rank_faults();
+  TREESVD_FUZZ_POINT(analysis::kFuzzMpSync, static_cast<std::uint64_t>(rank_), 0, hook_ops_++);
   world_->barrier_wait();
 }
 
 double Context::allreduce_sum(double value) {
   check_rank_faults();
+  TREESVD_FUZZ_POINT(analysis::kFuzzMpSync, static_cast<std::uint64_t>(rank_), 1, hook_ops_++);
   // Two-phase: accumulate under the sync lock, publish at the last arrival,
   // then the generation bump protects the result from the next round's reset.
   std::unique_lock<std::mutex> lock(world_->sync_mu_);
   if (world_->aborted()) throw WorldAbortedError();
   world_->reduce_accum_ += value;
   const std::uint64_t generation = world_->sync_generation_;
+  TREESVD_HB_BARRIER_ARRIVE(world_, generation);
   if (++world_->sync_waiting_ == world_->size()) {
     world_->reduce_result_ = world_->reduce_accum_;
     world_->reduce_accum_ = 0.0;
@@ -141,6 +157,7 @@ double Context::allreduce_sum(double value) {
     });
     if (world_->sync_generation_ == generation) throw WorldAbortedError();
   }
+  TREESVD_HB_BARRIER_DEPART(world_, generation);
   return world_->reduce_result_;
 }
 
@@ -331,6 +348,7 @@ void World::barrier_wait() {
   std::unique_lock<std::mutex> lock(sync_mu_);
   if (aborted()) throw WorldAbortedError();
   const std::uint64_t generation = sync_generation_;
+  TREESVD_HB_BARRIER_ARRIVE(this, generation);
   if (++sync_waiting_ == size()) {
     sync_waiting_ = 0;
     reduce_accum_ = 0.0;  // barriers and reduces share the counter
@@ -340,6 +358,7 @@ void World::barrier_wait() {
     sync_cv_.wait(lock, [&] { return aborted() || sync_generation_ != generation; });
     if (sync_generation_ == generation) throw WorldAbortedError();
   }
+  TREESVD_HB_BARRIER_DEPART(this, generation);
 }
 
 void World::abort_world() noexcept {
@@ -387,11 +406,14 @@ void World::purge_leftovers() {
 void World::run(const std::function<void(Context&)>& program) {
   TREESVD_REQUIRE(!aborted(), "World::run: reset_for_replay() must rearm an aborted world");
   for (auto& box : mailboxes_) box->finished.store(false, std::memory_order_release);
+  [[maybe_unused]] const std::uint64_t epoch = ++run_epoch_;
+  TREESVD_HB_FORK(this, epoch);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(mailboxes_.size());
   threads.reserve(mailboxes_.size());
   for (int r = 0; r < size(); ++r) {
     threads.emplace_back([&, r] {
+      TREESVD_HB_TASK_BEGIN(this, epoch, "mp rank " + std::to_string(r));
       Context ctx(this, r);
       try {
         program(ctx);
@@ -407,9 +429,11 @@ void World::run(const std::function<void(Context&)>& program) {
         std::lock_guard<std::mutex> lock(box->mu);
         box->cv.notify_all();
       }
+      TREESVD_HB_TASK_END(this, epoch);
     });
   }
   for (auto& t : threads) t.join();
+  TREESVD_HB_JOIN(this, epoch);
   // All ranks joined. Rethrow deterministically: the lowest-rank primary
   // (program) failure wins; secondary WorldAbortedError unwindings — ranks
   // woken only because the world died around them — surface solely when no

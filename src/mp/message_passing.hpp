@@ -91,7 +91,8 @@ class Context {
   void check_rank_faults();
   World* world_;
   int rank_;
-  std::uint64_t ops_ = 0;  ///< transport ops performed (kill/stall keying)
+  std::uint64_t ops_ = 0;       ///< transport ops performed (kill/stall keying)
+  std::uint64_t hook_ops_ = 0;  ///< analysis-hook salt; never keys fault plans
 };
 
 /// An SPMD world: constructs P mailboxes and runs a program on P threads.
@@ -190,6 +191,7 @@ class World {
   std::unique_ptr<FaultInjector> injector_;
   RecoveryCounters counters_;
   std::atomic<bool> aborted_{false};
+  std::uint64_t run_epoch_ = 0;  ///< fork-join epoch for the analysis hooks
 };
 
 }  // namespace treesvd::mp

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <string>
 
+#include "analysis/hooks.hpp"
 #include "util/thread_pool.hpp"
 
 #include "linalg/blas1.hpp"
@@ -244,10 +246,12 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
     const Sweep s = ordering.sweep_from(layout, sweep);
     std::atomic<std::size_t> sweep_rot{0};
     std::atomic<std::size_t> sweep_swap{0};
+    TREESVD_HB_SCOPED_FRAME(sweep_frame, [&] { return "sweep " + std::to_string(sweep); });
     for (int t = 0; t < s.steps(); ++t) {
       // The non-allocating view is shared read-only across the pool; tasks
       // are indexed by leaf, so the step's pair list is never copied.
       const StepPairs pairs = s.step_pairs(t);
+      TREESVD_HB_SCOPED_FRAME(step_frame, [&] { return "step " + std::to_string(t); });
       pool.parallel_for(
           static_cast<std::size_t>(pairs.leaves()),
           [&](std::size_t k) {

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/hooks.hpp"
 #include "linalg/matrix.hpp"
 
 namespace treesvd {
@@ -67,22 +68,30 @@ struct KernelStats {
 /// Relaxed-atomic counters shared by concurrent pair kernels.
 class KernelCounters {
  public:
-  void add_pair() noexcept { pairs_.fetch_add(1, std::memory_order_relaxed); }
-  void add_dot() noexcept { dot_.fetch_add(1, std::memory_order_relaxed); }
-  void add_gram() noexcept { gram_.fetch_add(1, std::memory_order_relaxed); }
-  void add_rotate() noexcept { rotate_.fetch_add(1, std::memory_order_relaxed); }
+  void add_pair() noexcept { note_tick(); pairs_.fetch_add(1, std::memory_order_relaxed); }
+  void add_dot() noexcept { note_tick(); dot_.fetch_add(1, std::memory_order_relaxed); }
+  void add_gram() noexcept { note_tick(); gram_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rotate() noexcept { note_tick(); rotate_.fetch_add(1, std::memory_order_relaxed); }
   void add_norm_refresh(std::size_t k = 1) noexcept {
+    note_tick();
     refresh_.fetch_add(k, std::memory_order_relaxed);
   }
-  void add_gram_build() noexcept { gram_build_.fetch_add(1, std::memory_order_relaxed); }
+  void add_gram_build() noexcept { note_tick(); gram_build_.fetch_add(1, std::memory_order_relaxed); }
   void add_accum_rotations(std::size_t k) noexcept {
+    note_tick();
     accum_rot_.fetch_add(k, std::memory_order_relaxed);
   }
-  void add_blocked_apply() noexcept { blocked_apply_.fetch_add(1, std::memory_order_relaxed); }
+  void add_blocked_apply() noexcept {
+    note_tick();
+    blocked_apply_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Overwrites every counter from a snapshot — checkpoint restore in the
-  /// fault-tolerant drivers. Not safe concurrently with ticking kernels.
+  /// fault-tolerant drivers. Not safe concurrently with ticking kernels;
+  /// declared as a plain write so the race detector flags exactly that
+  /// misuse (a store overlapping any tick or snapshot).
   void store(const KernelStats& s) noexcept {
+    TREESVD_HB_WRITE(this, 0, "KernelCounters");
     pairs_.store(s.pairs, std::memory_order_relaxed);
     dot_.store(s.dot_passes, std::memory_order_relaxed);
     gram_.store(s.gram_passes, std::memory_order_relaxed);
@@ -94,6 +103,7 @@ class KernelCounters {
   }
 
   KernelStats snapshot() const noexcept {
+    TREESVD_HB_ATOMIC(this, 0, "KernelCounters");
     KernelStats s;
     s.pairs = pairs_.load(std::memory_order_relaxed);
     s.dot_passes = dot_.load(std::memory_order_relaxed);
@@ -107,6 +117,10 @@ class KernelCounters {
   }
 
  private:
+  /// Declares a relaxed-atomic tick to the race detector: safe against other
+  /// ticks and snapshots, racy against store().
+  void note_tick() const noexcept { TREESVD_HB_ATOMIC(this, 0, "KernelCounters"); }
+
   std::atomic<std::size_t> pairs_{0};
   std::atomic<std::size_t> dot_{0};
   std::atomic<std::size_t> gram_{0};
@@ -137,9 +151,19 @@ class NormCache {
   /// Re-reduces one column.
   void refresh_column(const Matrix& a, std::size_t j);
 
-  double sq(std::size_t j) const noexcept { return sq_[j]; }
-  void set(std::size_t j, double v) noexcept { sq_[j] = v; }
-  void swap_cols(std::size_t i, std::size_t j) noexcept { std::swap(sq_[i], sq_[j]); }
+  double sq(std::size_t j) const noexcept {
+    TREESVD_HB_READ(this, j, "NormCache");
+    return sq_[j];
+  }
+  void set(std::size_t j, double v) noexcept {
+    TREESVD_HB_WRITE(this, j, "NormCache");
+    sq_[j] = v;
+  }
+  void swap_cols(std::size_t i, std::size_t j) noexcept {
+    TREESVD_HB_WRITE(this, i, "NormCache");
+    TREESVD_HB_WRITE(this, j, "NormCache");
+    std::swap(sq_[i], sq_[j]);
+  }
 
   KernelCounters& counters() noexcept { return counters_; }
   const KernelCounters& counters() const noexcept { return counters_; }

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/hooks.hpp"
 #include "linalg/blas1.hpp"
 #include "mp/message_passing.hpp"
 #include "svd/equilibrate.hpp"
@@ -159,6 +160,9 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       if (checkpointing && sweep % recovery.checkpoint_sweeps == 0) {
         auto& ring = checkpoints[static_cast<std::size_t>(me)];
         if (ring.empty() || ring.back().sweep < sweep) {
+          // Each rank commits only into its own ring slot; the rollback scan
+          // below runs after World::run joined, so the join edge orders it.
+          TREESVD_HB_WRITE(checkpoints.data(), static_cast<std::size_t>(me), "spmd checkpoints");
           RankCheckpoint cp;
           cp.sweep = sweep;
           cp.slot[0] = slot[0];
@@ -331,7 +335,9 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
     } catch (const mp::RankKilledError&) {
       if (!checkpointing) throw;
       int newest_common = -1;
-      for (const auto& ring : checkpoints) {
+      for (std::size_t rr = 0; rr < checkpoints.size(); ++rr) {
+        TREESVD_HB_READ(checkpoints.data(), rr, "spmd checkpoints");
+        const auto& ring = checkpoints[rr];
         TREESVD_ASSERT(!ring.empty());
         const int newest = ring.back().sweep;
         newest_common = newest_common < 0 ? newest : std::min(newest_common, newest);

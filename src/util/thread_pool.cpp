@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "analysis/hooks.hpp"
 
 namespace treesvd {
 
@@ -11,6 +14,9 @@ ThreadPool::ThreadPool(unsigned threads) {
     workers_.emplace_back([this, t] { worker_loop(t); });
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): std::thread::join can throw
+// system_error only for a dead/self thread, neither possible here; if the
+// impossible happens, terminate is the correct outcome for a pool teardown.
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -21,12 +27,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock,
-                            const std::function<void(std::size_t)>& task) {
-  while (next_ < count_) {
-    const std::size_t begin = next_;
+                            const std::function<void(std::size_t)>& task,
+                            [[maybe_unused]] std::size_t gen) {
+  while (next_chunk_ < chunk_total_) {
+    // Chunks are claimed by number; the fuzzer's permutation (if any) maps
+    // the claim order onto chunk indices, perturbing which index range runs
+    // first without changing the per-index exactly-once contract.
+    const std::size_t claim = next_chunk_++;
+    const std::size_t chunk = chunk_perm_.empty() ? claim : chunk_perm_[claim];
+    const std::size_t begin = chunk * grain_;
     const std::size_t end = std::min(count_, begin + grain_);
-    next_ = end;
     lock.unlock();
+    TREESVD_HB_TASK_BEGIN(this, gen,
+                          "pool chunk [" + std::to_string(begin) + "," + std::to_string(end) + ")");
+    TREESVD_FUZZ_POINT(analysis::kFuzzPoolChunk, gen, chunk, 0);
     // Catch per task, not per chunk: a throw must not cancel the remaining
     // iterations of its chunk (the pool's contract is that every index runs).
     std::exception_ptr error;
@@ -37,10 +51,11 @@ void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock,
         if (!error) error = std::current_exception();
       }
     }
+    TREESVD_HB_TASK_END(this, gen);
     lock.lock();
     if (error && !first_error_) first_error_ = std::move(error);
     --chunks_left_;
-    if (chunks_left_ == 0 && next_ >= count_) cv_done_.notify_all();
+    if (chunks_left_ == 0) cv_done_.notify_all();
   }
 }
 
@@ -52,7 +67,7 @@ void ThreadPool::worker_loop(unsigned /*id*/) {
     if (stop_) return;
     seen_generation = generation_;
     // task_ is null when the batch already drained before this worker woke.
-    if (task_ != nullptr) run_chunks(lock, *task_);
+    if (task_ != nullptr) run_chunks(lock, *task_, seen_generation);
   }
 }
 
@@ -73,17 +88,24 @@ void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::s
     task_ = &task;
     count_ = count;
     grain_ = grain;
-    next_ = 0;
-    chunks_left_ = (count + grain - 1) / grain;
+    next_chunk_ = 0;
+    chunk_total_ = (count + grain - 1) / grain;
+    chunks_left_ = chunk_total_;
     first_error_ = nullptr;
     ++generation_;
+    TREESVD_FUZZ_CHUNK_ORDER(chunk_perm_, chunk_total_);
+    // Publish the caller's clock before any worker can observe the batch
+    // (workers read the batch state under mu_, so this fork is ordered
+    // before every task_begin).
+    TREESVD_HB_FORK(this, generation_);
   }
   cv_work_.notify_all();
   // The calling thread participates.
   std::unique_lock<std::mutex> lock(mu_);
-  run_chunks(lock, task);
+  run_chunks(lock, task, generation_);
   cv_done_.wait(lock, [&] { return chunks_left_ == 0; });
   task_ = nullptr;
+  TREESVD_HB_JOIN(this, generation_);
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();

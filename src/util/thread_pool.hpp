@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -54,9 +55,11 @@ class ThreadPool {
  private:
   void worker_loop(unsigned id);
 
-  /// Claims and runs chunks until the range is exhausted; expects `lock`
-  /// held on entry and leaves it held on exit.
-  void run_chunks(std::unique_lock<std::mutex>& lock, const std::function<void(std::size_t)>& task);
+  /// Claims and runs chunks until the batch is exhausted; expects `lock`
+  /// held on entry and leaves it held on exit. `gen` is the batch's
+  /// generation (the fork-join epoch of the analysis hooks).
+  void run_chunks(std::unique_lock<std::mutex>& lock, const std::function<void(std::size_t)>& task,
+                  std::size_t gen);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
@@ -65,9 +68,13 @@ class ThreadPool {
   const std::function<void(std::size_t)>* task_ = nullptr;
   std::size_t count_ = 0;
   std::size_t grain_ = 1;
-  std::size_t next_ = 0;
+  std::size_t next_chunk_ = 0;   ///< next chunk *number* to claim
+  std::size_t chunk_total_ = 0;  ///< chunks in the current batch
   std::size_t chunks_left_ = 0;  ///< unfinished chunks of the current call
   std::size_t generation_ = 0;
+  /// Schedule-fuzzer claim order: chunk number -> chunk index. Empty (the
+  /// default, and always in builds without TREESVD_ANALYSIS) means ascending.
+  std::vector<std::uint32_t> chunk_perm_;
   std::exception_ptr first_error_;  ///< first task exception of the current parallel_for
   bool stop_ = false;
 };

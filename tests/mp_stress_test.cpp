@@ -12,6 +12,10 @@
 #include "mp/message_passing.hpp"
 #include "util/rng.hpp"
 
+#if defined(TREESVD_ANALYSIS) && TREESVD_ANALYSIS
+#include "analysis/fuzz.hpp"
+#endif
+
 namespace treesvd {
 namespace {
 
@@ -241,6 +245,98 @@ TEST(MpStress, MixedCollectivesAndRandomizedTraffic) {
     }
   });
 }
+
+#if defined(TREESVD_ANALYSIS) && TREESVD_ANALYSIS
+
+// --- Fuzzed section: the same transport contracts under the seeded schedule
+// --- fuzzer injecting yields at every send/recv/sync decision point. Fixed
+// --- seeds keep any failure replayable.
+
+TEST(MpStressFuzzed, AllToAllSurvivesPerturbedSchedules) {
+  const int ranks = 6;
+  const int rounds = 15;
+  for (const std::uint64_t seed : {std::uint64_t{11}, std::uint64_t{2026}}) {
+    analysis::FuzzPlan plan;
+    plan.seed = seed;
+    analysis::ScopedFuzzer fuzz(plan);
+    mp::World world(ranks);
+    world.run([&](mp::Context& ctx) {
+      const int me = ctx.rank();
+      for (int round = 0; round < rounds; ++round) {
+        const auto tag = static_cast<std::uint64_t>(round);
+        for (int dst = 0; dst < ranks; ++dst)
+          if (dst != me) ctx.send(dst, tag, {encode(me, round, 0)});
+        for (int src = ranks - 1; src >= 0; --src) {
+          if (src == me) continue;
+          const auto msg = ctx.recv(src, tag);
+          ASSERT_EQ(msg.size(), 1u);
+          EXPECT_DOUBLE_EQ(msg[0], encode(src, round, 0));
+        }
+      }
+    });
+    EXPECT_EQ(world.delivered(),
+              static_cast<std::size_t>(ranks) * (ranks - 1) * static_cast<std::size_t>(rounds))
+        << "seed=" << seed;
+    EXPECT_GT(fuzz->decisions(), 0u) << "fuzzer saw no transport decision points";
+  }
+}
+
+TEST(MpStressFuzzed, BarriersAndAllreduceSurvivePerturbedSchedules) {
+  const int ranks = 6;
+  const int phases = 20;
+  analysis::FuzzPlan plan;
+  plan.seed = 404;
+  analysis::ScopedFuzzer fuzz(plan);
+  mp::World world(ranks);
+  std::vector<std::atomic<int>> arrived(phases);
+  std::atomic<int> violations{0};
+  world.run([&](mp::Context& ctx) {
+    for (int p = 0; p < phases; ++p) {
+      arrived[static_cast<std::size_t>(p)].fetch_add(1, std::memory_order_relaxed);
+      ctx.barrier();
+      if (arrived[static_cast<std::size_t>(p)].load(std::memory_order_relaxed) != ranks)
+        violations.fetch_add(1, std::memory_order_relaxed);
+      const double sum = ctx.allreduce_sum(static_cast<double>(ctx.rank() + 1));
+      EXPECT_DOUBLE_EQ(sum, ranks * (ranks + 1) / 2.0);
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(MpStressFuzzed, FaultPlanUnaffectedByFuzzSalt) {
+  // The fuzzer's decision salt (hook_ops_) is deliberately separate from the
+  // op counter that keys kill/stall fault schedules: the same fault plan must
+  // fire at the same op with and without a fuzzer installed.
+  const int ranks = 4;
+  const auto run_once = [&](bool fuzzed) {
+    mp::World world(ranks);
+    mp::FaultPlan plan;
+    plan.enabled = true;
+    plan.kill_rank = 2;
+    plan.kill_at_op = 17;
+    world.set_fault_plan(plan);
+    const auto program = [&](mp::Context& ctx) {
+      const int me = ctx.rank();
+      for (int round = 0; round < 50; ++round) {
+        ctx.send((me + 1) % ranks, static_cast<std::uint64_t>(round), {1.0});
+        (void)ctx.recv((me + ranks - 1) % ranks, static_cast<std::uint64_t>(round));
+      }
+    };
+    if (fuzzed) {
+      analysis::FuzzPlan fp;
+      fp.seed = 7;
+      analysis::ScopedFuzzer fuzz(fp);
+      EXPECT_THROW(world.run(program), mp::RankKilledError);
+    } else {
+      EXPECT_THROW(world.run(program), mp::RankKilledError);
+    }
+    return world.recovery_stats().kills;
+  };
+  EXPECT_EQ(run_once(false), 1u);
+  EXPECT_EQ(run_once(true), 1u);
+}
+
+#endif  // TREESVD_ANALYSIS
 
 }  // namespace
 }  // namespace treesvd

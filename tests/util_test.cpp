@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +13,10 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+
+#if defined(TREESVD_ANALYSIS) && TREESVD_ANALYSIS
+#include "analysis/fuzz.hpp"
+#endif
 
 namespace treesvd {
 namespace {
@@ -229,6 +234,75 @@ TEST(ThreadPool, ExceptionPropagatesWithExplicitGrain) {
                std::runtime_error);
   EXPECT_EQ(calls.load(), 200);
 }
+
+#if defined(TREESVD_ANALYSIS) && TREESVD_ANALYSIS
+
+// Adversarial-schedule re-runs: the pool's contracts (exactly-once, exception
+// propagation, inline fast path) must survive the seeded schedule fuzzer
+// permuting chunk claim order and injecting yields. Fixed seeds keep failures
+// reproducible.
+
+TEST(ThreadPoolFuzzed, GrainBoundariesSurvivePermutedSchedules) {
+  ThreadPool pool(4);
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{77}, std::uint64_t{2026}}) {
+    analysis::FuzzPlan plan;
+    plan.seed = seed;
+    analysis::ScopedFuzzer fuzz(plan);
+    // Grains straddling the count (257) exercise the short final chunk under
+    // every permutation of claim order.
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{255}}) {
+      std::vector<std::atomic<int>> hits(257);
+      pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+      for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "seed=" << seed << " grain=" << grain;
+    }
+    EXPECT_GT(fuzz->decisions(), 0u) << "fuzzer saw no pool decision points";
+  }
+}
+
+TEST(ThreadPoolFuzzed, SingleChunkBatchSurvivesFuzzer) {
+  // count == grain stays on the calling thread; the fuzzer must not break
+  // (or accidentally parallelise) the inline path.
+  ThreadPool pool(4);
+  analysis::FuzzPlan plan;
+  plan.seed = 9001;
+  analysis::ScopedFuzzer fuzz(plan);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  std::atomic<int> calls{0};
+  pool.parallel_for(64,
+                    [&](std::size_t) {
+                      calls.fetch_add(1);
+                      if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+                    },
+                    64);
+  EXPECT_EQ(calls.load(), 64);
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPoolFuzzed, ExceptionContractSurvivesPermutedSchedules) {
+  ThreadPool pool(4);
+  for (const std::uint64_t seed : {std::uint64_t{3}, std::uint64_t{1234}}) {
+    analysis::FuzzPlan plan;
+    plan.seed = seed;
+    analysis::ScopedFuzzer fuzz(plan);
+    std::atomic<int> calls{0};
+    EXPECT_THROW(pool.parallel_for(200,
+                                   [&](std::size_t i) {
+                                     calls.fetch_add(1);
+                                     if (i == 19) throw std::runtime_error("fuzzed chunk failed");
+                                   },
+                                   8),
+                 std::runtime_error);
+    // No iteration is cancelled, whatever order the chunks were claimed in.
+    EXPECT_EQ(calls.load(), 200) << "seed=" << seed;
+    std::atomic<int> again{0};
+    pool.parallel_for(50, [&](std::size_t) { again.fetch_add(1); }, 4);
+    EXPECT_EQ(again.load(), 50) << "pool unusable after fuzzed exception, seed=" << seed;
+  }
+}
+
+#endif  // TREESVD_ANALYSIS
 
 }  // namespace
 }  // namespace treesvd

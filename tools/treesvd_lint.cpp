@@ -3,6 +3,9 @@
 // Enumerates every ordering in the registry across a range of n and checks
 // the paper's invariants (core/validate.hpp) ahead of any runtime use:
 //   pair-coverage        every unordered index pair rotated exactly once
+//   step-disjoint        within each step the active pairs are pairwise
+//                        disjoint (no index rotated by two leaves at once —
+//                        the static form of a data race on a column)
 //   sequence-validity    4 consecutive sweeps chained through final layouts
 //   steps-contract       Sweep::steps() matches Ordering::steps(n)
 //   rotation-count       n(n-1)/2 active rotations per sweep
@@ -22,7 +25,7 @@
 // Usage:
 //   treesvd_lint [--min-n=4] [--max-n=64] [--orderings=a,b,...]
 //                [--sweeps=4] [--json=PATH] [--corrupt=KIND] [--self-test]
-//   KIND: duplicate-pair | no-restore | reversed-traffic
+//   KIND: duplicate-pair | no-restore | reversed-traffic | overlapping-pair
 
 #include <algorithm>
 #include <fstream>
@@ -31,6 +34,7 @@
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -49,13 +53,20 @@ namespace {
 // Corruption adapters: orderings broken in exactly the ways the linter must
 // detect. Used by --corrupt and the self-test.
 
-enum class Corruption { kNone, kDuplicatePair, kNoRestore, kReversedTraffic };
+enum class Corruption {
+  kNone,
+  kDuplicatePair,
+  kNoRestore,
+  kReversedTraffic,
+  kOverlappingPair
+};
 
 std::optional<Corruption> parse_corruption(const std::string& kind) {
   if (kind.empty()) return Corruption::kNone;
   if (kind == "duplicate-pair") return Corruption::kDuplicatePair;
   if (kind == "no-restore") return Corruption::kNoRestore;
   if (kind == "reversed-traffic") return Corruption::kReversedTraffic;
+  if (kind == "overlapping-pair") return Corruption::kOverlappingPair;
   return std::nullopt;
 }
 
@@ -100,6 +111,18 @@ class CorruptedOrdering final : public Ordering {
         }
         break;
       }
+      case Corruption::kOverlappingPair: {
+        // Duplicating one occupant into another leaf's slot makes two leaves
+        // rotate the same column in the same step. The layout stops being a
+        // permutation, so Sweep's constructor rejects it and the linter
+        // records the throw as a no-exception violation; the disjointness
+        // checker itself is probed on raw StepPairs views in the self-test.
+        if (c.layouts.size() > 2 && n >= 4) {
+          auto& mid = c.layouts[c.layouts.size() / 2];
+          mid[2] = mid[0];
+        }
+        break;
+      }
     }
     return c;
   }
@@ -130,6 +153,45 @@ struct CheckResult {
 std::string check_pair_coverage(const Sweep& s) {
   const SweepValidation v = validate_sweep(s);
   return v.valid ? std::string{} : v.error;
+}
+
+/// Disjointness of one step's concurrent pairs, on the raw StepPairs view.
+/// Factored out of check_step_disjointness so the self-test can exercise the
+/// checker on a hand-built overlapping view: a full Sweep cannot carry the
+/// violation, because its constructor already rejects non-permutation
+/// layouts (the corruption adapter's overlapping-pair tamper throws there).
+std::string check_pairs_disjoint(const StepPairs& pairs, int n, int t) {
+  std::vector<int> uses(static_cast<std::size_t>(n), 0);
+  for (int leaf = 0; leaf < pairs.leaves(); ++leaf) {
+    if (!pairs.active_at(leaf)) continue;
+    const IndexPair p = pairs.at(leaf);
+    if (p.even == p.odd)
+      return "step " + std::to_string(t) + ": leaf " + std::to_string(leaf) + " pairs index " +
+             std::to_string(p.even) + " with itself";
+    for (const int idx : {p.even, p.odd}) {
+      if (idx < 0 || idx >= n)
+        return "step " + std::to_string(t) + ": leaf " + std::to_string(leaf) +
+               " rotates out-of-range index " + std::to_string(idx);
+      if (++uses[static_cast<std::size_t>(idx)] > 1)
+        return "step " + std::to_string(t) + ": index " + std::to_string(idx) +
+               " appears in more than one concurrent pair";
+    }
+  }
+  return {};
+}
+
+std::string check_step_disjointness(const Sweep& s, int n) {
+  // A step's active pairs execute concurrently (one rotation per leaf); if
+  // any column index appeared in two pairs — or twice within one pair — two
+  // processors would read and write the same column in the same step. This
+  // is the schedule-level statement of data-race freedom: the dynamic
+  // detector (treesvd_race) can then trust that same-step rotations touch
+  // disjoint columns.
+  for (int t = 0; t < s.steps(); ++t) {
+    std::string detail = check_pairs_disjoint(s.step_pairs(t), n, t);
+    if (!detail.empty()) return detail;
+  }
+  return {};
 }
 
 std::string check_sequence(const Ordering& ord, int n, int sweeps) {
@@ -241,6 +303,7 @@ CaseReport run_case(const std::string& display_name, const Ordering& ord, int n,
 
   const Sweep s = ord.sweep(n);
   add("pair-coverage", check_pair_coverage(s));
+  add("step-disjoint", check_step_disjointness(s, n));
   add("sequence-validity", check_sequence(ord, n, sweeps));
   add("steps-contract", check_steps_contract(ord, s, n));
   add("rotation-count", check_rotation_count(s, n));
@@ -371,8 +434,9 @@ int self_test() {
   // Direction 2: every corruption kind must be caught on every ordering it
   // structurally applies to (all sweeps have >= 3 layouts for n >= 4).
   const Corruption kinds[] = {Corruption::kDuplicatePair, Corruption::kNoRestore,
-                              Corruption::kReversedTraffic};
-  const char* kind_names[] = {"duplicate-pair", "no-restore", "reversed-traffic"};
+                              Corruption::kReversedTraffic, Corruption::kOverlappingPair};
+  const char* kind_names[] = {"duplicate-pair", "no-restore", "reversed-traffic",
+                              "overlapping-pair"};
   for (std::size_t k = 0; k < std::size(kinds); ++k) {
     const RunOutcome corrupted = run_all({"fat-tree", "new-ring", "round-robin"}, 8, 8, 3,
                                          kinds[k]);
@@ -381,6 +445,26 @@ int self_test() {
                 << "' slipped past every check\n";
       return 1;
     }
+  }
+  // Direction 3: the disjointness checker itself must flag an overlapping
+  // step, a self-pair, and an out-of-range index on a raw StepPairs view
+  // (a full Sweep cannot carry these — its constructor rejects them — so
+  // the checker is probed directly; see check_pairs_disjoint).
+  const std::vector<int> overlapping = {0, 1, 0, 3, 4, 5, 6, 7};
+  const std::vector<int> self_pair = {0, 0, 2, 3, 4, 5, 6, 7};
+  const std::vector<int> out_of_range = {0, 1, 2, 3, 4, 5, 6, 9};
+  for (const auto* bad : {&overlapping, &self_pair, &out_of_range}) {
+    const StepPairs view(std::span<const int>(*bad), {});
+    if (check_pairs_disjoint(view, 8, 0).empty()) {
+      std::cerr << "self-test FAILED: corrupt step layout not caught by the step-disjoint "
+                   "check\n";
+      return 1;
+    }
+  }
+  const std::vector<int> clean_step = {0, 1, 2, 3, 4, 5, 6, 7};
+  if (!check_pairs_disjoint(StepPairs(std::span<const int>(clean_step), {}), 8, 0).empty()) {
+    std::cerr << "self-test FAILED: step-disjoint check flagged a clean step\n";
+    return 1;
   }
   std::cout << "self-test passed: clean registry accepted, all corruption kinds detected\n";
   return 0;
@@ -391,7 +475,7 @@ int main(int argc, const char* const* argv) {
   if (cli.has("help")) {
     std::cout << "usage: treesvd_lint [--min-n=4] [--max-n=64] [--orderings=a,b,...]\n"
                  "                    [--sweeps=4] [--json=PATH] [--corrupt=KIND] [--self-test]\n"
-                 "KIND: duplicate-pair | no-restore | reversed-traffic\n";
+                 "KIND: duplicate-pair | no-restore | reversed-traffic | overlapping-pair\n";
     return 0;
   }
   if (cli.has("self-test")) return self_test();
