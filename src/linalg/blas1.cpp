@@ -3,6 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
+
+#include "linalg/blas1_batched_isa.hpp"
+#include "linalg/rotation.hpp"
+
+#if defined(__GNUC__) && !defined(__clang__)
+// The anonymous-namespace batched kernels pass and return vectors wider than
+// the baseline ABI supports natively; they are internal to this TU and fully
+// inlined, so the ABI caveat cannot bite. TU-wide (not push/pop) because GCC
+// re-emits the diagnostic at end-of-file template instantiation, outside any
+// scoped region in blas1_batched_impl.inc.
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
 
 namespace treesvd {
 namespace {
@@ -183,6 +196,224 @@ GramPair gram_pair(std::span<const double> x, std::span<const double> y) noexcep
     xy0 += x0 * y0;
   }
   return {xx0 + xx1, yy0 + yy1, xy0 + xy1};
+}
+
+// ---------------------------------------------------------------------------
+// Batched SoA lane-block kernels.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Reference path: gather one lane into contiguous scratch and run the exact
+// scalar kernel — bitwise identical to the sequential driver by
+// construction, on any compiler. The scratch is thread-local so the steady
+// state allocates nothing after the first call at a given size.
+std::vector<double>& batch_lane_scratch() {
+  static thread_local std::vector<double> buf;
+  return buf;
+}
+
+void gather_lane(const double* x, std::size_t m, std::size_t w, std::size_t b,
+                 double* __restrict dst) noexcept {
+  for (std::size_t i = 0; i < m; ++i) dst[i] = x[i * w + b];
+}
+
+void scatter_lane(const double* __restrict src, std::size_t m, std::size_t w, std::size_t b,
+                  double* x) noexcept {
+  for (std::size_t i = 0; i < m; ++i) x[i * w + b] = src[i];
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TREESVD_BATCH_VEC 1
+
+// Baseline-ISA copies of the vectorized lane-block kernels (the same bodies
+// compile to YMM/ZMM code in blas1_batched_avx2.cpp/blas1_batched_avx512.cpp;
+// the public entry points below pick the widest copy the CPU supports).
+#include "linalg/blas1_batched_impl.inc"
+
+#endif  // vector extensions
+
+}  // namespace
+
+bool batch_kernels_vectorized() noexcept {
+#ifdef TREESVD_BATCH_VEC
+  return true;
+#else
+  return false;
+#endif
+}
+
+void batched_dot_ref(const double* x, const double* y, std::size_t m, std::size_t w,
+                     double* out) noexcept {
+  auto& buf = batch_lane_scratch();
+  buf.resize(2 * m);
+  for (std::size_t b = 0; b < w; ++b) {
+    gather_lane(x, m, w, b, buf.data());
+    gather_lane(y, m, w, b, buf.data() + m);
+    out[b] = dot({buf.data(), m}, {buf.data() + m, m});
+  }
+}
+
+void batched_sumsq_ref(const double* x, std::size_t m, std::size_t w, double* out) noexcept {
+  auto& buf = batch_lane_scratch();
+  buf.resize(m);
+  for (std::size_t b = 0; b < w; ++b) {
+    gather_lane(x, m, w, b, buf.data());
+    out[b] = sumsq({buf.data(), m});
+  }
+}
+
+void batched_gram_pair_ref(const double* x, const double* y, std::size_t m, std::size_t w,
+                           double* app, double* aqq, double* apq) noexcept {
+  auto& buf = batch_lane_scratch();
+  buf.resize(2 * m);
+  for (std::size_t b = 0; b < w; ++b) {
+    gather_lane(x, m, w, b, buf.data());
+    gather_lane(y, m, w, b, buf.data() + m);
+    const GramPair g = gram_pair({buf.data(), m}, {buf.data() + m, m});
+    app[b] = g.app;
+    aqq[b] = g.aqq;
+    apq[b] = g.apq;
+  }
+}
+
+void batched_rotate_and_norms_ref(double* x, double* y, std::size_t m, std::size_t w,
+                                  const double* c, const double* s,
+                                  const std::uint8_t* rotate, const std::uint8_t* swap_lanes,
+                                  double* app, double* aqq) noexcept {
+  auto& buf = batch_lane_scratch();
+  buf.resize(2 * m);
+  for (std::size_t b = 0; b < w; ++b) {
+    if (rotate[b] == 0) continue;
+    gather_lane(x, m, w, b, buf.data());
+    gather_lane(y, m, w, b, buf.data() + m);
+    const std::span<double> xl{buf.data(), m};
+    const std::span<double> yl{buf.data() + m, m};
+    const RotatedNorms rn = swap_lanes[b] != 0 ? rotate_and_norms_swapped(xl, yl, c[b], s[b])
+                                               : rotate_and_norms(xl, yl, c[b], s[b]);
+    scatter_lane(buf.data(), m, w, b, x);
+    scatter_lane(buf.data() + m, m, w, b, y);
+    app[b] = rn.app;
+    aqq[b] = rn.aqq;
+  }
+}
+
+void batched_apply_rotation_ref(double* x, double* y, std::size_t m, std::size_t w,
+                                const double* c, const double* s, const std::uint8_t* rotate,
+                                const std::uint8_t* swap_lanes) noexcept {
+  auto& buf = batch_lane_scratch();
+  buf.resize(2 * m);
+  for (std::size_t b = 0; b < w; ++b) {
+    if (rotate[b] == 0) continue;
+    gather_lane(x, m, w, b, buf.data());
+    gather_lane(y, m, w, b, buf.data() + m);
+    const std::span<double> xl{buf.data(), m};
+    const std::span<double> yl{buf.data() + m, m};
+    if (swap_lanes[b] != 0) {
+      apply_rotation_swapped(xl, yl, c[b], s[b]);
+    } else {
+      apply_rotation(xl, yl, c[b], s[b]);
+    }
+    scatter_lane(buf.data(), m, w, b, x);
+    scatter_lane(buf.data() + m, m, w, b, y);
+  }
+}
+
+int batched_isa_tier() noexcept {
+#if defined(TREESVD_BATCH_VEC) && defined(TREESVD_BATCH_ISA_X86)
+  static const int tier = [] {
+    if (__builtin_cpu_supports("avx512f")) return 2;
+    if (__builtin_cpu_supports("avx2")) return 1;
+    return 0;
+  }();
+  return tier;
+#else
+  return 0;
+#endif
+}
+
+const char* batched_kernel_isa() noexcept {
+#ifdef TREESVD_BATCH_VEC
+  switch (batched_isa_tier()) {
+    case 2: return "avx512f";
+    case 1: return "avx2";
+    default: return "baseline";
+  }
+#else
+  return "scalar-ref";
+#endif
+}
+
+void batched_dot(const double* x, const double* y, std::size_t m, std::size_t w,
+                 double* out) noexcept {
+#ifdef TREESVD_BATCH_VEC
+  if (w == 4 || w == 8 || w == 16) {
+    switch (batched_isa_tier()) {
+      case 2: batched_dot_avx512(x, y, m, w, out); return;
+      case 1: batched_dot_avx2(x, y, m, w, out); return;
+      default: batched_dot_g<4>(x, y, m, w, out); return;
+    }
+  }
+#endif
+  batched_dot_ref(x, y, m, w, out);
+}
+
+void batched_sumsq(const double* x, std::size_t m, std::size_t w, double* out) noexcept {
+#ifdef TREESVD_BATCH_VEC
+  if (w == 4 || w == 8 || w == 16) {
+    switch (batched_isa_tier()) {
+      case 2: batched_sumsq_avx512(x, m, w, out); return;
+      case 1: batched_sumsq_avx2(x, m, w, out); return;
+      default: batched_sumsq_g<4>(x, m, w, out); return;
+    }
+  }
+#endif
+  batched_sumsq_ref(x, m, w, out);
+}
+
+void batched_gram_pair(const double* x, const double* y, std::size_t m, std::size_t w,
+                       double* app, double* aqq, double* apq) noexcept {
+#ifdef TREESVD_BATCH_VEC
+  if (w == 4 || w == 8 || w == 16) {
+    switch (batched_isa_tier()) {
+      case 2: batched_gram_pair_avx512(x, y, m, w, app, aqq, apq); return;
+      case 1: batched_gram_pair_avx2(x, y, m, w, app, aqq, apq); return;
+      default: batched_gram_pair_g<4>(x, y, m, w, app, aqq, apq); return;
+    }
+  }
+#endif
+  batched_gram_pair_ref(x, y, m, w, app, aqq, apq);
+}
+
+void batched_rotate_and_norms(double* x, double* y, std::size_t m, std::size_t w,
+                              const double* c, const double* s, const std::uint8_t* rotate,
+                              const std::uint8_t* swap_lanes, double* app,
+                              double* aqq) noexcept {
+#ifdef TREESVD_BATCH_VEC
+  if (w == 4 || w == 8 || w == 16) {
+    switch (batched_isa_tier()) {
+      case 2: batched_rotate_and_norms_avx512(x, y, m, w, c, s, rotate, swap_lanes, app, aqq); return;
+      case 1: batched_rotate_and_norms_avx2(x, y, m, w, c, s, rotate, swap_lanes, app, aqq); return;
+      default: batched_rotate_and_norms_g<4>(x, y, m, w, c, s, rotate, swap_lanes, app, aqq); return;
+    }
+  }
+#endif
+  batched_rotate_and_norms_ref(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
+}
+
+void batched_apply_rotation(double* x, double* y, std::size_t m, std::size_t w, const double* c,
+                            const double* s, const std::uint8_t* rotate,
+                            const std::uint8_t* swap_lanes) noexcept {
+#ifdef TREESVD_BATCH_VEC
+  if (w == 4 || w == 8 || w == 16) {
+    switch (batched_isa_tier()) {
+      case 2: batched_apply_rotation_avx512(x, y, m, w, c, s, rotate, swap_lanes); return;
+      case 1: batched_apply_rotation_avx2(x, y, m, w, c, s, rotate, swap_lanes); return;
+      default: batched_apply_rotation_g<4>(x, y, m, w, c, s, rotate, swap_lanes); return;
+    }
+  }
+#endif
+  batched_apply_rotation_ref(x, y, m, w, c, s, rotate, swap_lanes);
 }
 
 }  // namespace treesvd

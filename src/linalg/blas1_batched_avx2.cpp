@@ -1,0 +1,114 @@
+// AVX2 copies of the vectorized cross-problem kernels. This TU is compiled
+// with -mavx2 -ffp-contract=off (src/linalg/CMakeLists.txt) on x86-64, so
+// the 32-byte vectors of blas1_batched_impl.inc lower to single YMM
+// operations; batched_isa_tier() routes here only when the CPU agrees.
+// -mavx2 does not enable FMA, and contraction is forced off regardless, so
+// every lane's arithmetic stays bit-identical to the scalar kernels.
+
+#include "linalg/blas1_batched_isa.hpp"
+
+#include "linalg/blas1.hpp"
+#include "linalg/rotation.hpp"
+
+namespace treesvd {
+
+#ifdef TREESVD_BATCH_ISA_X86
+
+namespace {
+#include "linalg/blas1_batched_impl.inc"
+
+// vsqrtpd is IEEE correctly rounded: lane b equals std::sqrt(lane b)
+// bitwise. Spelled as asm because generic vector extensions have no sqrt
+// and GCC 12's _mm*_sqrt_pd intrinsics drag in cast/uninitialized warnings.
+inline VecOf<4>::vd vsqrt(VecOf<4>::vd v) noexcept {
+  VecOf<4>::vd r;
+  asm("vsqrtpd %1, %0" : "=x"(r) : "x"(v));
+  return r;
+}
+
+#include "linalg/rotation_batched_impl.inc"
+}  // namespace
+
+void batched_dot_avx2(const double* x, const double* y, std::size_t m, std::size_t w,
+                      double* out) noexcept {
+  batched_dot_g<4>(x, y, m, w, out);
+}
+
+void batched_sumsq_avx2(const double* x, std::size_t m, std::size_t w, double* out) noexcept {
+  batched_sumsq_g<4>(x, m, w, out);
+}
+
+void batched_gram_pair_avx2(const double* x, const double* y, std::size_t m, std::size_t w,
+                            double* app, double* aqq, double* apq) noexcept {
+  batched_gram_pair_g<4>(x, y, m, w, app, aqq, apq);
+}
+
+void batched_rotate_and_norms_avx2(double* x, double* y, std::size_t m, std::size_t w,
+                                   const double* c, const double* s, const std::uint8_t* rotate,
+                                   const std::uint8_t* swap_lanes, double* app,
+                                   double* aqq) noexcept {
+  batched_rotate_and_norms_g<4>(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
+}
+
+void batched_apply_rotation_avx2(double* x, double* y, std::size_t m, std::size_t w,
+                                 const double* c, const double* s, const std::uint8_t* rotate,
+                                 const std::uint8_t* swap_lanes) noexcept {
+  batched_apply_rotation_g<4>(x, y, m, w, c, s, rotate, swap_lanes);
+}
+
+void batched_compute_rotation_avx2(const double* app, const double* aqq, const double* apq,
+                                   std::size_t w, double tol, double* c, double* s,
+                                   std::uint8_t* identity) noexcept {
+  batched_rotation_decide_g<4>(app, aqq, apq, w, tol, c, s, identity);
+}
+
+void batched_drift_gate_avx2(const double* app, const double* aqq, const double* apq,
+                             std::size_t w, double tol, double guard,
+                             std::uint8_t* near_mask) noexcept {
+  batched_drift_gate_g<4>(app, aqq, apq, w, tol, guard, near_mask);
+}
+
+#else  // !TREESVD_BATCH_ISA_X86 — never dispatched to; forward to the refs.
+
+void batched_dot_avx2(const double* x, const double* y, std::size_t m, std::size_t w,
+                      double* out) noexcept {
+  batched_dot_ref(x, y, m, w, out);
+}
+
+void batched_sumsq_avx2(const double* x, std::size_t m, std::size_t w, double* out) noexcept {
+  batched_sumsq_ref(x, m, w, out);
+}
+
+void batched_gram_pair_avx2(const double* x, const double* y, std::size_t m, std::size_t w,
+                            double* app, double* aqq, double* apq) noexcept {
+  batched_gram_pair_ref(x, y, m, w, app, aqq, apq);
+}
+
+void batched_rotate_and_norms_avx2(double* x, double* y, std::size_t m, std::size_t w,
+                                   const double* c, const double* s, const std::uint8_t* rotate,
+                                   const std::uint8_t* swap_lanes, double* app,
+                                   double* aqq) noexcept {
+  batched_rotate_and_norms_ref(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
+}
+
+void batched_apply_rotation_avx2(double* x, double* y, std::size_t m, std::size_t w,
+                                 const double* c, const double* s, const std::uint8_t* rotate,
+                                 const std::uint8_t* swap_lanes) noexcept {
+  batched_apply_rotation_ref(x, y, m, w, c, s, rotate, swap_lanes);
+}
+
+void batched_compute_rotation_avx2(const double* app, const double* aqq, const double* apq,
+                                   std::size_t w, double tol, double* c, double* s,
+                                   std::uint8_t* identity) noexcept {
+  detail::batched_compute_rotation_scalar(app, aqq, apq, w, tol, c, s, identity);
+}
+
+void batched_drift_gate_avx2(const double* app, const double* aqq, const double* apq,
+                             std::size_t w, double tol, double guard,
+                             std::uint8_t* near_mask) noexcept {
+  detail::batched_drift_gate_scalar(app, aqq, apq, w, tol, guard, near_mask);
+}
+
+#endif  // TREESVD_BATCH_ISA_X86
+
+}  // namespace treesvd

@@ -1,0 +1,159 @@
+// AVX-512F copies of the vectorized cross-problem kernels. Compiled with
+// -mavx512f -ffp-contract=off (src/linalg/CMakeLists.txt) on x86-64: the
+// 64-byte vectors of blas1_batched_impl.inc lower to single ZMM operations,
+// so a lane width of 8 runs one full problem-group per instruction (and
+// width 16 runs two). batched_isa_tier() routes here only when the CPU
+// reports avx512f. AVX-512 brings FMA with it, hence -ffp-contract=off:
+// fusing c*x - s*y into one rounding would break the bitwise
+// sequential-equivalence contract.
+
+#include "linalg/blas1_batched_isa.hpp"
+
+#include "linalg/blas1.hpp"
+#include "linalg/rotation.hpp"
+
+namespace treesvd {
+
+#ifdef TREESVD_BATCH_ISA_X86
+
+namespace {
+#include "linalg/blas1_batched_impl.inc"
+
+// vsqrtpd is IEEE correctly rounded: lane b equals std::sqrt(lane b)
+// bitwise. Spelled as asm because generic vector extensions have no sqrt
+// and GCC 12's _mm*_sqrt_pd intrinsics drag in cast/uninitialized warnings.
+inline VecOf<4>::vd vsqrt(VecOf<4>::vd v) noexcept {
+  VecOf<4>::vd r;
+  asm("vsqrtpd %1, %0" : "=x"(r) : "x"(v));
+  return r;
+}
+inline VecOf<8>::vd vsqrt(VecOf<8>::vd v) noexcept {
+  VecOf<8>::vd r;
+  asm("vsqrtpd %1, %0" : "=v"(r) : "v"(v));
+  return r;
+}
+
+#include "linalg/rotation_batched_impl.inc"
+}  // namespace
+
+// w == 4 has no 8-lane group; it takes the 4-lane template, which these
+// flags still lower to single YMM operations.
+
+void batched_dot_avx512(const double* x, const double* y, std::size_t m, std::size_t w,
+                        double* out) noexcept {
+  if (w % 8 == 0) {
+    batched_dot_g<8>(x, y, m, w, out);
+  } else {
+    batched_dot_g<4>(x, y, m, w, out);
+  }
+}
+
+void batched_sumsq_avx512(const double* x, std::size_t m, std::size_t w, double* out) noexcept {
+  if (w % 8 == 0) {
+    batched_sumsq_g<8>(x, m, w, out);
+  } else {
+    batched_sumsq_g<4>(x, m, w, out);
+  }
+}
+
+void batched_gram_pair_avx512(const double* x, const double* y, std::size_t m, std::size_t w,
+                              double* app, double* aqq, double* apq) noexcept {
+  if (w % 8 == 0) {
+    batched_gram_pair_g<8>(x, y, m, w, app, aqq, apq);
+  } else {
+    batched_gram_pair_g<4>(x, y, m, w, app, aqq, apq);
+  }
+}
+
+void batched_rotate_and_norms_avx512(double* x, double* y, std::size_t m, std::size_t w,
+                                     const double* c, const double* s,
+                                     const std::uint8_t* rotate,
+                                     const std::uint8_t* swap_lanes, double* app,
+                                     double* aqq) noexcept {
+  // 32 ZMM registers fit the fused single-pass form's live set; one pass
+  // over the columns instead of three. The 4-lane groups stay on the split
+  // form: without AVX-512VL the 256-bit ops are VEX-encoded and see only 16
+  // registers, which the fused live set exceeds.
+  if (w % 8 == 0) {
+    batched_rotate_and_norms_fused_g<8>(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
+  } else {
+    batched_rotate_and_norms_g<4>(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
+  }
+}
+
+void batched_apply_rotation_avx512(double* x, double* y, std::size_t m, std::size_t w,
+                                   const double* c, const double* s, const std::uint8_t* rotate,
+                                   const std::uint8_t* swap_lanes) noexcept {
+  if (w % 8 == 0) {
+    batched_apply_rotation_g<8>(x, y, m, w, c, s, rotate, swap_lanes);
+  } else {
+    batched_apply_rotation_g<4>(x, y, m, w, c, s, rotate, swap_lanes);
+  }
+}
+
+void batched_compute_rotation_avx512(const double* app, const double* aqq, const double* apq,
+                                     std::size_t w, double tol, double* c, double* s,
+                                     std::uint8_t* identity) noexcept {
+  if (w % 8 == 0) {
+    batched_rotation_decide_g<8>(app, aqq, apq, w, tol, c, s, identity);
+  } else {
+    batched_rotation_decide_g<4>(app, aqq, apq, w, tol, c, s, identity);
+  }
+}
+
+void batched_drift_gate_avx512(const double* app, const double* aqq, const double* apq,
+                               std::size_t w, double tol, double guard,
+                               std::uint8_t* near_mask) noexcept {
+  if (w % 8 == 0) {
+    batched_drift_gate_g<8>(app, aqq, apq, w, tol, guard, near_mask);
+  } else {
+    batched_drift_gate_g<4>(app, aqq, apq, w, tol, guard, near_mask);
+  }
+}
+
+#else  // !TREESVD_BATCH_ISA_X86 — never dispatched to; forward to the refs.
+
+void batched_dot_avx512(const double* x, const double* y, std::size_t m, std::size_t w,
+                        double* out) noexcept {
+  batched_dot_ref(x, y, m, w, out);
+}
+
+void batched_sumsq_avx512(const double* x, std::size_t m, std::size_t w,
+                          double* out) noexcept {
+  batched_sumsq_ref(x, m, w, out);
+}
+
+void batched_gram_pair_avx512(const double* x, const double* y, std::size_t m, std::size_t w,
+                              double* app, double* aqq, double* apq) noexcept {
+  batched_gram_pair_ref(x, y, m, w, app, aqq, apq);
+}
+
+void batched_rotate_and_norms_avx512(double* x, double* y, std::size_t m, std::size_t w,
+                                     const double* c, const double* s,
+                                     const std::uint8_t* rotate,
+                                     const std::uint8_t* swap_lanes, double* app,
+                                     double* aqq) noexcept {
+  batched_rotate_and_norms_ref(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
+}
+
+void batched_apply_rotation_avx512(double* x, double* y, std::size_t m, std::size_t w,
+                                   const double* c, const double* s, const std::uint8_t* rotate,
+                                   const std::uint8_t* swap_lanes) noexcept {
+  batched_apply_rotation_ref(x, y, m, w, c, s, rotate, swap_lanes);
+}
+
+void batched_compute_rotation_avx512(const double* app, const double* aqq, const double* apq,
+                                     std::size_t w, double tol, double* c, double* s,
+                                     std::uint8_t* identity) noexcept {
+  detail::batched_compute_rotation_scalar(app, aqq, apq, w, tol, c, s, identity);
+}
+
+void batched_drift_gate_avx512(const double* app, const double* aqq, const double* apq,
+                               std::size_t w, double tol, double guard,
+                               std::uint8_t* near_mask) noexcept {
+  detail::batched_drift_gate_scalar(app, aqq, apq, w, tol, guard, near_mask);
+}
+
+#endif  // TREESVD_BATCH_ISA_X86
+
+}  // namespace treesvd

@@ -1,0 +1,64 @@
+#pragma once
+// Internal: per-ISA copies of the vectorized cross-problem kernels
+// (blas1_batched_impl.inc) plus the runtime dispatch tier. The public
+// batched_* entry points in blas1.cpp select the widest copy the CPU
+// supports; nothing outside src/linalg should include this header.
+//
+// The AVX TUs are compiled with -ffp-contract=off: with FMA available the
+// compiler would otherwise fuse the rotate kernel's c*x - s*y into one
+// rounding, silently breaking the bitwise-sequential-equivalence contract
+// the batched engine is built on (DESIGN.md section 11's strict-IEEE rule).
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TREESVD_BATCH_ISA_X86 1
+#endif
+
+namespace treesvd {
+
+/// 0 = baseline (whatever the default flags vectorize to), 1 = AVX2,
+/// 2 = AVX-512F. Detected once per process.
+int batched_isa_tier() noexcept;
+
+void batched_dot_avx2(const double* x, const double* y, std::size_t m, std::size_t w,
+                      double* out) noexcept;
+void batched_sumsq_avx2(const double* x, std::size_t m, std::size_t w, double* out) noexcept;
+void batched_gram_pair_avx2(const double* x, const double* y, std::size_t m, std::size_t w,
+                            double* app, double* aqq, double* apq) noexcept;
+void batched_rotate_and_norms_avx2(double* x, double* y, std::size_t m, std::size_t w,
+                                   const double* c, const double* s, const std::uint8_t* rotate,
+                                   const std::uint8_t* swap_lanes, double* app,
+                                   double* aqq) noexcept;
+void batched_apply_rotation_avx2(double* x, double* y, std::size_t m, std::size_t w,
+                                 const double* c, const double* s, const std::uint8_t* rotate,
+                                 const std::uint8_t* swap_lanes) noexcept;
+void batched_compute_rotation_avx2(const double* app, const double* aqq, const double* apq,
+                                   std::size_t w, double tol, double* c, double* s,
+                                   std::uint8_t* identity) noexcept;
+void batched_drift_gate_avx2(const double* app, const double* aqq, const double* apq,
+                             std::size_t w, double tol, double guard,
+                             std::uint8_t* near_mask) noexcept;
+
+void batched_dot_avx512(const double* x, const double* y, std::size_t m, std::size_t w,
+                        double* out) noexcept;
+void batched_sumsq_avx512(const double* x, std::size_t m, std::size_t w, double* out) noexcept;
+void batched_gram_pair_avx512(const double* x, const double* y, std::size_t m, std::size_t w,
+                              double* app, double* aqq, double* apq) noexcept;
+void batched_rotate_and_norms_avx512(double* x, double* y, std::size_t m, std::size_t w,
+                                     const double* c, const double* s,
+                                     const std::uint8_t* rotate,
+                                     const std::uint8_t* swap_lanes, double* app,
+                                     double* aqq) noexcept;
+void batched_apply_rotation_avx512(double* x, double* y, std::size_t m, std::size_t w,
+                                   const double* c, const double* s, const std::uint8_t* rotate,
+                                   const std::uint8_t* swap_lanes) noexcept;
+void batched_compute_rotation_avx512(const double* app, const double* aqq, const double* apq,
+                                     std::size_t w, double tol, double* c, double* s,
+                                     std::uint8_t* identity) noexcept;
+void batched_drift_gate_avx512(const double* app, const double* aqq, const double* apq,
+                               std::size_t w, double tol, double guard,
+                               std::uint8_t* near_mask) noexcept;
+
+}  // namespace treesvd

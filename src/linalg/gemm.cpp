@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <functional>
@@ -28,23 +29,53 @@ constexpr std::size_t kNaiveFlops = 2 * 4096;
 constexpr std::size_t kParallelFlops = std::size_t{1} << 23;
 
 /// The shared pool is single-caller (ThreadPool::parallel_for keeps its
-/// batch state in member slots), so entry points race for this gate and the
-/// losers run serially instead of corrupting the batch.
+/// batch state in member slots), so entry points race for this gate; losers
+/// route to the thread's fallback pool, or run serially, instead of
+/// corrupting the batch.
 std::mutex& pool_gate() {
   static std::mutex gate;
   return gate;
 }
 
-/// Runs task(i) for i in [0, count) — on `pool` when it is non-null, the
-/// work is worth forking, and the gate is free; serially otherwise. Tasks
-/// write disjoint output, so both routes produce identical results.
+/// Per-thread fallback registered by ScopedGemmFallbackPool: where a
+/// gate-contended dispatch goes instead of degrading to serial.
+thread_local ThreadPool* tl_gemm_fallback = nullptr;
+
+std::atomic<std::size_t> stat_pooled{0};
+std::atomic<std::size_t> stat_fallback{0};
+std::atomic<std::size_t> stat_serial{0};
+std::atomic<std::size_t> stat_inline{0};
+
+/// Runs task(i) for i in [0, count). Route order: caller-owned pool (its
+/// owner vouches for exclusivity — no gate), shared pool when the gate is
+/// free, the thread's registered fallback pool when it is not, serial last.
+/// Tasks write disjoint output, so every route produces identical results.
 void dispatch(std::size_t count, std::size_t flops, ThreadPool* pool,
               const std::function<void(std::size_t)>& task) {
-  if (pool != nullptr && count > 1 && flops >= kParallelFlops && pool_gate().try_lock()) {
-    const std::unique_lock<std::mutex> gate(pool_gate(), std::adopt_lock);
+  if (pool == nullptr || count <= 1 || flops < kParallelFlops) {
+    stat_inline.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  if (pool != gemm_pool()) {
+    stat_pooled.fetch_add(1, std::memory_order_relaxed);
     pool->parallel_for(count, task, 1);
     return;
   }
+  if (pool_gate().try_lock()) {
+    const std::unique_lock<std::mutex> gate(pool_gate(), std::adopt_lock);
+    stat_pooled.fetch_add(1, std::memory_order_relaxed);
+    pool->parallel_for(count, task, 1);
+    return;
+  }
+  if (tl_gemm_fallback != nullptr) {
+    // Contended shared pool, but this thread carries its own: a concurrent
+    // batch shard keeps its BLAS-3 parallel instead of single-threading.
+    stat_fallback.fetch_add(1, std::memory_order_relaxed);
+    tl_gemm_fallback->parallel_for(count, task, 1);
+    return;
+  }
+  stat_serial.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t i = 0; i < count; ++i) task(i);
 }
 
@@ -117,6 +148,34 @@ ThreadPool* gemm_pool() {
   static ThreadPool pool;
   return &pool;
 }
+
+GemmDispatchStats gemm_dispatch_stats() noexcept {
+  GemmDispatchStats s;
+  s.pooled = stat_pooled.load(std::memory_order_relaxed);
+  s.fallback = stat_fallback.load(std::memory_order_relaxed);
+  s.serial = stat_serial.load(std::memory_order_relaxed);
+  s.inline_small = stat_inline.load(std::memory_order_relaxed);
+  return s;
+}
+
+void gemm_dispatch_stats_reset() noexcept {
+  stat_pooled.store(0, std::memory_order_relaxed);
+  stat_fallback.store(0, std::memory_order_relaxed);
+  stat_serial.store(0, std::memory_order_relaxed);
+  stat_inline.store(0, std::memory_order_relaxed);
+}
+
+ScopedGemmFallbackPool::ScopedGemmFallbackPool(ThreadPool& pool) noexcept
+    : prev_(tl_gemm_fallback) {
+  tl_gemm_fallback = &pool;
+}
+
+ScopedGemmFallbackPool::~ScopedGemmFallbackPool() { tl_gemm_fallback = prev_; }
+
+namespace detail {
+ScopedGemmGateHold::ScopedGemmGateHold() { pool_gate().lock(); }
+ScopedGemmGateHold::~ScopedGemmGateHold() { pool_gate().unlock(); }
+}  // namespace detail
 
 void gemm_into(Matrix& c, const Matrix& a, const Matrix& b, ThreadPool* pool,
                const GemmTiling& tiling) {

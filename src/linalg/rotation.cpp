@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/blas1_batched_isa.hpp"
+
 namespace treesvd {
 
 bool is_orthogonal(const GramPair& g, double tol) noexcept {
@@ -176,6 +178,80 @@ RotatedNorms rotate_and_norms(std::span<double> x, std::span<double> y, double c
 RotatedNorms rotate_and_norms_swapped(std::span<double> x, std::span<double> y, double c,
                                       double s) noexcept {
   return rotate_and_norms_impl<true>(x.data(), y.data(), x.size(), c, s);
+}
+
+namespace detail {
+
+void batched_compute_rotation_scalar(const double* app, const double* aqq, const double* apq,
+                                     std::size_t w, double tol, double* c, double* s,
+                                     std::uint8_t* identity) noexcept {
+  for (std::size_t b = 0; b < w; ++b) {
+    const JacobiRotation r = compute_rotation({app[b], aqq[b], apq[b]}, tol);
+    c[b] = r.identity ? 1.0 : r.c;
+    s[b] = r.identity ? 0.0 : r.s;
+    identity[b] = r.identity ? 1 : 0;
+  }
+}
+
+void batched_drift_gate_scalar(const double* app, const double* aqq, const double* apq,
+                               std::size_t w, double tol, double guard,
+                               std::uint8_t* near_mask) noexcept {
+  for (std::size_t b = 0; b < w; ++b) {
+    const double thresh = tol * std::sqrt(app[b]) * std::sqrt(aqq[b]);
+    const double mag = std::fabs(apq[b]);
+    bool near = false;
+    if (mag > 0.0) {
+      if (thresh > 0.0 && std::isfinite(thresh)) {
+        const double ratio = mag / thresh;
+        near = ratio <= guard && ratio * guard >= 1.0;
+      } else {
+        near = true;  // degenerate threshold: decide from fresh data
+      }
+    }
+    near_mask[b] = near ? 1 : 0;
+  }
+}
+
+}  // namespace detail
+
+void batched_compute_rotation(const double* app, const double* aqq, const double* apq,
+                              std::size_t w, double tol, double* c, double* s,
+                              std::uint8_t* identity) noexcept {
+#ifdef TREESVD_BATCH_ISA_X86
+  if (w % 4 == 0) {
+    switch (batched_isa_tier()) {
+      case 2:
+        batched_compute_rotation_avx512(app, aqq, apq, w, tol, c, s, identity);
+        return;
+      case 1:
+        batched_compute_rotation_avx2(app, aqq, apq, w, tol, c, s, identity);
+        return;
+      default:
+        break;
+    }
+  }
+#endif
+  detail::batched_compute_rotation_scalar(app, aqq, apq, w, tol, c, s, identity);
+}
+
+void batched_drift_gate(const double* app, const double* aqq, const double* apq,
+                        std::size_t w, double tol, double guard,
+                        std::uint8_t* near_mask) noexcept {
+#ifdef TREESVD_BATCH_ISA_X86
+  if (w % 4 == 0) {
+    switch (batched_isa_tier()) {
+      case 2:
+        batched_drift_gate_avx512(app, aqq, apq, w, tol, guard, near_mask);
+        return;
+      case 1:
+        batched_drift_gate_avx2(app, aqq, apq, w, tol, guard, near_mask);
+        return;
+      default:
+        break;
+    }
+  }
+#endif
+  detail::batched_drift_gate_scalar(app, aqq, apq, w, tol, guard, near_mask);
 }
 
 RotatedNorms rotated_norms(const GramPair& g, const JacobiRotation& r) noexcept {

@@ -69,4 +69,37 @@ RotatedNorms rotate_and_norms(std::span<double> x, std::span<double> y, double c
 RotatedNorms rotate_and_norms_swapped(std::span<double> x, std::span<double> y, double c,
                                       double s) noexcept;
 
+/// Batched per-lane rotation decisions over SoA Gram arrays (the decision
+/// stage of the batched engine, svd/batch.hpp): for every lane b,
+/// (c[b], s[b], identity[b]) = compute_rotation({app[b], aqq[b], apq[b]}, tol),
+/// with identity lanes reporting c = 1, s = 0. When w is a multiple of the
+/// batch lane count this dispatches to a vectorized copy (the decision math
+/// is sqrt/divide-heavy and used to dominate the batched engine's per-pair
+/// cost); every operation involved is IEEE correctly rounded, so the
+/// vectorized lanes are bitwise equal to the scalar fallback.
+void batched_compute_rotation(const double* app, const double* aqq, const double* apq,
+                              std::size_t w, double tol, double* c, double* s,
+                              std::uint8_t* identity) noexcept;
+
+/// Batched form of the cached path's drift-guard gate (svd/batch.cpp):
+/// near_mask[b] != 0 exactly when, with thresh = tol*sqrt(app[b])*sqrt(aqq[b])
+/// and mag = |apq[b]|, mag is positive and either the threshold is degenerate
+/// (non-positive or non-finite) or mag/thresh lies within a factor `guard` of
+/// 1. Dispatches like batched_compute_rotation; flags are exact either way.
+void batched_drift_gate(const double* app, const double* aqq, const double* apq,
+                        std::size_t w, double tol, double guard,
+                        std::uint8_t* near_mask) noexcept;
+
+namespace detail {
+/// Scalar per-lane fallbacks of the two decision kernels — the dispatch
+/// target for lane widths the vector copies don't cover, and the bitwise
+/// reference the vectorized forms are tested against.
+void batched_compute_rotation_scalar(const double* app, const double* aqq, const double* apq,
+                                     std::size_t w, double tol, double* c, double* s,
+                                     std::uint8_t* identity) noexcept;
+void batched_drift_gate_scalar(const double* app, const double* aqq, const double* apq,
+                               std::size_t w, double tol, double guard,
+                               std::uint8_t* near_mask) noexcept;
+}  // namespace detail
+
 }  // namespace treesvd

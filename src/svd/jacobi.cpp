@@ -10,6 +10,7 @@
 
 #include "linalg/blas1.hpp"
 #include "linalg/rotation.hpp"
+#include "svd/driver_detail.hpp"
 #include "svd/equilibrate.hpp"
 #include "svd/pair_kernel.hpp"
 #include "svd/recovery.hpp"
@@ -22,96 +23,13 @@ using detail::PairOutcome;
 using detail::process_pair;
 using detail::process_pair_cached;
 
-/// Pads A with zero columns to the nearest width the ordering supports.
-Matrix pad_columns(const Matrix& a, const Ordering& ordering, int* padded_n) {
-  const int n = static_cast<int>(a.cols());
-  for (int w = n; w <= 2 * n + 4; ++w) {
-    if (!ordering.supports(w)) continue;
-    *padded_n = w;
-    if (w == n) return a;
-    Matrix p(a.rows(), static_cast<std::size_t>(w));
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      const auto src = a.col(j);
-      const auto dst = p.col(j);
-      std::copy(src.begin(), src.end(), dst.begin());
-    }
-    return p;
-  }
-  TREESVD_REQUIRE(false, ordering.name() + " supports no width in [n, 2n+4] for n=" +
-                             std::to_string(n));
-  return {};
-}
-
-/// Per-driver robustness state: the equilibration record plus the (always
-/// observational) stall classifier and (opt-in) watchdog, threaded through
-/// finalize so every result carries the status contract.
-struct SweepGuards {
-  Equilibration eq;
-  StallDetector stall;
-  ConvergenceWatchdog watchdog{0};
-  std::size_t watchdog_trips = 0;
-
-  explicit SweepGuards(const JacobiOptions& opt)
-      : stall(opt.stall_window), watchdog(opt.watchdog_sweeps) {}
-
-  /// Feeds one sweep's activity; returns true when the watchdog demands a
-  /// norm re-reduction (the caller refreshes its cache).
-  bool observe(double activity) {
-    stall.observe(activity);
-    if (!watchdog.observe(activity)) return false;
-    ++watchdog_trips;
-    watchdog.reset();
-    return true;
-  }
-};
-
-SvdResult finalize(Matrix h, Matrix v, const Matrix& a, const JacobiOptions& opt,
-                   const SweepGuards& guards, SvdResult partial) {
-  const std::size_t n = a.cols();
-  SvdResult r = std::move(partial);
-  // Sigma, smax and the U division all happen at the equilibrated scale (h
-  // still carries the 2^e factor, and so do the norms); the common factor
-  // cancels bitwise in every ratio, and sigma is unscaled exactly at the end.
-  r.sigma.resize(n);
-  for (std::size_t j = 0; j < n; ++j) r.sigma[j] = nrm2(h.col(j));
-  const double smax = *std::max_element(r.sigma.begin(), r.sigma.end());
-
-  r.u = Matrix(h.rows(), n);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (r.sigma[j] > opt.rank_tol * smax && r.sigma[j] > 0.0)
-      copy_div(h.col(j), r.sigma[j], r.u.col(j));
-  }
-  if (opt.compute_v) {
-    r.v = Matrix(n, n);
-    for (std::size_t j = 0; j < n; ++j) {
-      const auto src = v.col(j);
-      const auto dst = r.v.col(j);
-      std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(n), dst.begin());
-    }
-  }
-  unscale_sigma(r.sigma, guards.eq);
-
-  r.status = r.converged ? SvdStatus::kConverged
-                         : (guards.stall.stalled() ? SvdStatus::kStalled
-                                                   : SvdStatus::kMaxSweeps);
-  r.diagnostics.input_scale = guards.eq.stats;
-  r.diagnostics.equilibrated = guards.eq.applied;
-  r.diagnostics.equilibration_exponent = guards.eq.exponent;
-  r.diagnostics.watchdog_trips = guards.watchdog_trips;
-  r.diagnostics.stalled_sweeps = guards.stall.streak();
-  if (!r.converged || opt.full_diagnostics)
-    assess_quality(a, r, guards.eq.exponent, opt.rank_tol);
-  return r;
-}
-
-/// Scheduled drift control: full cache re-reduction every
-/// norm_recompute_sweeps sweeps (the near-threshold guard in the pair kernel
-/// handles the decision-critical cases in between).
-void maybe_refresh(NormCache* cache, const Matrix& h, int sweep, const JacobiOptions& opt) {
-  if (cache == nullptr || cache->empty()) return;
-  if (sweep > 0 && opt.norm_recompute_sweeps > 0 && sweep % opt.norm_recompute_sweeps == 0)
-    cache->refresh(h);
-}
+// Padding, the per-run robustness guards (SweepGuards), finalisation and the
+// scheduled cache-refresh cadence live in svd/driver_detail.hpp, shared
+// bit-for-bit with the batched engine (svd/batch.cpp).
+using detail::finalize;
+using detail::maybe_refresh;
+using detail::pad_columns;
+using detail::SweepGuards;
 
 }  // namespace
 

@@ -1,0 +1,185 @@
+#include "svd/serve.hpp"
+
+#include <bit>
+#include <chrono>
+#include <string>
+
+#include "analysis/hooks.hpp"
+#include "linalg/gemm.hpp"
+#include "util/require.hpp"
+#include "util/thread_pool.hpp"
+
+namespace treesvd {
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  const auto bucket = static_cast<std::size_t>(std::bit_width(ns));
+  ++buckets_[bucket < kBuckets ? bucket : kBuckets - 1];
+  ++total_;
+  if (ns > max_ns_) max_ns_ = ns;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t k = 0; k < kBuckets; ++k) buckets_[k] += other.buckets_[k];
+  total_ += other.total_;
+  if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the quantile sample, 1-based ceiling — the smallest rank whose
+  // cumulative count covers fraction q.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += buckets_[k];
+    if (seen > rank || (seen == rank && rank == total_)) {
+      if (k == 0) return 0;
+      if (k >= 63) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << k) - 1;  // inclusive upper bound of bucket k
+    }
+  }
+  return max_ns_;
+}
+
+/// One worker's world: its queue, its engine, its pointer scratch and its
+/// telemetry. No state here is touched by any other shard.
+struct SvdServer::Shard {
+  BoundedMpscQueue<Request> queue;
+  BatchedSvd engine;
+  std::vector<Request> pending;
+  std::vector<const Matrix*> in;
+  std::vector<SvdResult*> out;
+  LatencyHistogram latency;
+  std::uint64_t batches = 0;
+  std::uint64_t lanes = 0;
+
+  Shard(const Ordering& ordering, const ServeOptions& o)
+      : queue(o.queue_capacity),
+        engine(o.rows, o.cols, ordering, o.batch) {
+    const std::size_t w = o.batch.lane_width;
+    engine.reserve(w);
+    pending.reserve(w);
+    in.reserve(w);
+    out.reserve(w);
+  }
+};
+
+SvdServer::SvdServer(const Ordering& ordering, const ServeOptions& options)
+    : options_(options) {
+  TREESVD_REQUIRE(options_.shards >= 1, "SvdServer needs at least one shard");
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(ordering, options_));
+}
+
+SvdServer::~SvdServer() { stop(); }
+
+void SvdServer::start() {
+  TREESVD_REQUIRE(!started_, "SvdServer::start called twice");
+  started_ = true;
+  threads_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    threads_.emplace_back([this, s] { shard_loop(s); });
+}
+
+void SvdServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& sh : shards_) sh->queue.close();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+bool SvdServer::submit(const Matrix& a, SvdResult* out) {
+  TREESVD_REQUIRE(out != nullptr, "SvdServer::submit needs a result slot");
+  if (stopped_ || !started_) return false;
+  Request req{&a, out, now_ns()};
+  // Round-robin shard assignment: with same-shape problems every shard costs
+  // the same, so rotation is both balanced and contention-free.
+  const std::size_t s =
+      static_cast<std::size_t>(next_shard_.fetch_add(1, std::memory_order_relaxed)) %
+      shards_.size();
+  if (!shards_[s]->queue.push(std::move(req))) return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SvdServer::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] {
+    return completed_total_ >= submitted_.load(std::memory_order_relaxed);
+  });
+}
+
+ServeStats SvdServer::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    s.completed = completed_total_;
+  }
+  // Shard telemetry is written only by the owning shard thread; a consistent
+  // snapshot wants the shards parked (post-stop) or merely approximate
+  // (live monitoring) — both are fine for histograms and counters.
+  for (const auto& sh : shards_) {
+    s.batches += sh->batches;
+    s.batched_lanes += sh->lanes;
+    s.latency.merge(sh->latency);
+  }
+  return s;
+}
+
+void SvdServer::shard_loop(std::size_t idx) {
+  TREESVD_HB_SCOPED_FRAME(serve_frame, [&] { return "serve shard " + std::to_string(idx); });
+  Shard& sh = *shards_[idx];
+  const std::size_t max_batch = options_.batch.lane_width;
+  // Shard-owned BLAS-3 fallback: diagnostics GEMMs in finalize that lose the
+  // shared gemm_pool() gate to a sibling shard run on this pool instead of
+  // silently single-threading (see ScopedGemmFallbackPool).
+  std::unique_ptr<ThreadPool> gemm_fb;
+  std::unique_ptr<ScopedGemmFallbackPool> gemm_reg;
+  if (options_.gemm_fallback_threads > 0) {
+    gemm_fb = std::make_unique<ThreadPool>(
+        static_cast<unsigned>(options_.gemm_fallback_threads));
+    gemm_reg = std::make_unique<ScopedGemmFallbackPool>(*gemm_fb);
+  }
+  for (;;) {
+    sh.pending.clear();
+    // Block for the first request, then opportunistically fill the rest of
+    // the SIMD shard from whatever else is already queued.
+    if (sh.queue.pop_batch(sh.pending, max_batch) == 0) break;
+    sh.in.clear();
+    sh.out.clear();
+    for (const Request& r : sh.pending) {
+      sh.in.push_back(r.a);
+      sh.out.push_back(r.out);
+    }
+    // In-shard solve runs serially (pool = nullptr): parallelism is across
+    // shard threads, and one engine instance must stay single-caller.
+    sh.engine.solve_into({sh.in.data(), sh.in.size()}, {sh.out.data(), sh.out.size()}, nullptr);
+    const std::uint64_t done_ns = now_ns();
+    for (const Request& r : sh.pending)
+      sh.latency.record(done_ns > r.enqueue_ns ? done_ns - r.enqueue_ns : 0);
+    ++sh.batches;
+    sh.lanes += sh.pending.size();
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      completed_total_ += sh.pending.size();
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace treesvd

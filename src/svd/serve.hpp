@@ -1,0 +1,229 @@
+#pragma once
+// Many-SVD serving front-end over the batched engine (svd/batch.hpp).
+//
+// Shape: clients submit independent same-shape problems; `shards` worker
+// threads each own one BatchedSvd instance (satisfying its single-caller
+// rule) and one bounded MPSC submission queue. A shard blocks for the first
+// pending request, then drains its queue up to the engine's lane width so a
+// busy server fills whole SIMD shards and an idle one still serves single
+// requests at one-solve latency. Because the batched engine reproduces the
+// sequential driver bit-for-bit per lane, a problem's result does not depend
+// on which requests happened to share its batch — racy arrival order never
+// changes payloads, only latency.
+//
+// Backpressure: queues are bounded rings; submit() blocks while the target
+// shard's queue is full, so a slow server pushes back on producers instead
+// of growing without bound. Arena slabs (the engine shards) are preallocated
+// at start(); the steady state allocates nothing on the serving path.
+//
+// Telemetry: per-shard log2-bucket latency histograms (submit -> completion,
+// steady clock) merged on demand, plus submission/completion/batch-fill
+// counters — everything the serve tool dumps as JSON.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/ordering.hpp"
+#include "linalg/matrix.hpp"
+#include "svd/batch.hpp"
+#include "svd/jacobi.hpp"
+
+namespace treesvd {
+
+/// Fixed-capacity multi-producer single-consumer ring with blocking
+/// backpressure. Close semantics: push fails once closed; pop_batch drains
+/// what remains and then reports exhaustion.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity)
+      : buf_(capacity == 0 ? 1 : capacity), cap_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while full. Returns false (item dropped) when the queue is
+  /// closed before space appears.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [&] { return count_ < cap_ || closed_; });
+    if (closed_) return false;
+    buf_[(head_ + count_) % cap_] = std::move(v);
+    ++count_;
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || count_ >= cap_) return false;
+    buf_[(head_ + count_) % cap_] = std::move(v);
+    ++count_;
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Appends up to max_items pending entries to `out`, blocking for at least
+  /// one unless the queue is closed and empty. Returns the number taken
+  /// (0 only on closed-and-drained).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_items_.wait(lock, [&] { return count_ > 0 || closed_; });
+    std::size_t taken = 0;
+    while (taken < max_items && count_ > 0) {
+      out.push_back(std::move(buf_[head_]));
+      head_ = (head_ + 1) % cap_;
+      --count_;
+      ++taken;
+    }
+    if (taken > 0) cv_space_.notify_all();
+    return taken;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::vector<T> buf_;
+  std::size_t cap_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+/// Log2-bucketed latency histogram: bucket k counts samples with
+/// 2^(k-1) <= ns < 2^k (bucket 0 holds ns == 0). Not thread-safe — each
+/// shard owns one; merge() combines them for reporting.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t ns) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t max_ns() const noexcept { return max_ns_; }
+
+  /// Upper bound (ns) of the bucket containing the q-quantile sample
+  /// (q in [0, 1]); 0 when empty. Bucket resolution: a factor of 2.
+  std::uint64_t quantile_ns(double q) const noexcept;
+  std::uint64_t p50_ns() const noexcept { return quantile_ns(0.50); }
+  std::uint64_t p99_ns() const noexcept { return quantile_ns(0.99); }
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept { return buckets_; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+struct ServeOptions {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Engine configuration per shard; lane_width doubles as the largest batch
+  /// one solve call packs.
+  BatchedSvdOptions batch;
+  /// Worker shards (one thread, one queue, one BatchedSvd each).
+  std::size_t shards = 1;
+  /// Per-shard submission queue bound (backpressure threshold).
+  std::size_t queue_capacity = 256;
+  /// Threads of the per-shard BLAS-3 fallback pool, registered via
+  /// ScopedGemmFallbackPool for the shard's lifetime: finalisation-path GEMMs
+  /// (quality diagnostics on non-converged lanes) that lose the shared
+  /// gemm_pool() gate under concurrent shards run here instead of degrading
+  /// to serial. 0 disables the registration.
+  std::size_t gemm_fallback_threads = 1;
+};
+
+/// Aggregated server counters (a consistent snapshot under the stats lock).
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;       ///< engine solve calls issued
+  std::uint64_t batched_lanes = 0; ///< sum of batch fills (completed == this)
+  LatencyHistogram latency;        ///< submit -> result-written, per problem
+};
+
+/// The serving front-end. Lifecycle: construct -> start() -> submit()s ->
+/// stop() (drains queues, joins shards). Results are written through the
+/// caller's pointers; wait_idle() blocks until every accepted submission has
+/// completed, which is the cheap way for a client to synchronise without
+/// per-request signalling.
+class SvdServer {
+ public:
+  /// The ordering shapes each shard's engine schedule; it is not retained.
+  SvdServer(const Ordering& ordering, const ServeOptions& options);
+  ~SvdServer();
+
+  SvdServer(const SvdServer&) = delete;
+  SvdServer& operator=(const SvdServer&) = delete;
+
+  const ServeOptions& options() const noexcept { return options_; }
+
+  void start();
+
+  /// Closes the queues, drains every pending request, joins the shards.
+  /// Idempotent.
+  void stop();
+
+  /// Enqueues one problem (must be rows x cols; checked by the engine at
+  /// solve time). *out is written by the owning shard before the request
+  /// counts as completed. Blocks while the target shard's queue is full;
+  /// returns false when the server is stopped.
+  bool submit(const Matrix& a, SvdResult* out);
+
+  /// Blocks until completed == submitted (all accepted work finished).
+  void wait_idle();
+
+  ServeStats stats() const;
+
+ private:
+  struct Request {
+    const Matrix* a = nullptr;
+    SvdResult* out = nullptr;
+    std::uint64_t enqueue_ns = 0;
+  };
+  struct Shard;
+
+  void shard_loop(std::size_t idx);
+
+  ServeOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> next_shard_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::uint64_t completed_total_ = 0;
+};
+
+}  // namespace treesvd

@@ -1,0 +1,169 @@
+// Serving front-end: queue discipline, latency histogram, and the end-to-end
+// contract that a served result is bitwise the direct sequential solve (batch
+// composition under racy arrival order must never leak into payloads).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "svd/determinism.hpp"
+#include "svd/jacobi.hpp"
+#include "svd/serve.hpp"
+#include "util/rng.hpp"
+
+namespace treesvd {
+namespace {
+
+TEST(BoundedMpscQueue, FifoAndBoundedTryPush) {
+  BoundedMpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full: bounded, not growing
+  std::vector<int> got;
+  EXPECT_EQ(q.pop_batch(got, 3), 3u);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(q.try_push(4));
+  got.clear();
+  EXPECT_EQ(q.pop_batch(got, 8), 2u);
+  EXPECT_EQ(got, (std::vector<int>{3, 4}));
+}
+
+TEST(BoundedMpscQueue, BlockingPushBackpressureReleasesOnPop) {
+  BoundedMpscQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // blocks until the consumer makes space
+    second_pushed.store(true);
+  });
+  std::vector<int> got;
+  // Consume one; the blocked producer must wake and complete.
+  EXPECT_EQ(q.pop_batch(got, 1), 1u);
+  EXPECT_EQ(got.front(), 1);
+  got.clear();
+  EXPECT_EQ(q.pop_batch(got, 1), 1u);  // waits for the producer if needed
+  EXPECT_EQ(got.front(), 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedMpscQueue, CloseDrainsThenReportsExhaustion) {
+  BoundedMpscQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8));
+  EXPECT_FALSE(q.push(9));
+  std::vector<int> got;
+  EXPECT_EQ(q.pop_batch(got, 4), 1u);  // pending work still drains
+  EXPECT_EQ(got.front(), 7);
+  EXPECT_EQ(q.pop_batch(got, 4), 0u);  // closed and empty: exhausted
+}
+
+TEST(BoundedMpscQueue, CloseWakesBlockedConsumer) {
+  BoundedMpscQueue<int> q(2);
+  std::thread closer([&] { q.close(); });
+  std::vector<int> got;
+  EXPECT_EQ(q.pop_batch(got, 1), 0u);  // must return instead of hanging
+  closer.join();
+}
+
+TEST(LatencyHistogram, QuantilesAndMerge) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50_ns(), 0u);
+  for (int i = 0; i < 90; ++i) h.record(100);    // bucket of 100ns
+  for (int i = 0; i < 10; ++i) h.record(100000); // tail
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.p50_ns(), 127u);   // 100 lives in [64, 127]
+  EXPECT_GE(h.p50_ns(), 100u);
+  EXPECT_GE(h.p99_ns(), 100000u);
+  EXPECT_LE(h.p50_ns(), h.p99_ns());
+  EXPECT_EQ(h.max_ns(), 100000u);
+
+  LatencyHistogram other;
+  for (int i = 0; i < 100; ++i) other.record(1000000);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_GE(h.p99_ns(), 1000000u);  // merged tail dominates p99
+  EXPECT_LE(h.p50_ns(), 1048575u);
+}
+
+TEST(SvdServer, ServedResultsAreBitwiseDirectSolves) {
+  const OrderingPtr ord = make_ordering("round-robin");
+  ServeOptions opt;
+  opt.rows = 8;
+  opt.cols = 6;
+  opt.shards = 2;
+  opt.queue_capacity = 8;
+  opt.batch.lane_width = 4;
+  SvdServer server(*ord, opt);
+  server.start();
+
+  Rng rng(2024);
+  std::vector<Matrix> inputs;
+  for (int i = 0; i < 23; ++i) inputs.push_back(random_gaussian(8, 6, rng));
+  std::vector<SvdResult> results(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    ASSERT_TRUE(server.submit(inputs[i], &results[i]));
+  server.wait_idle();
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const SvdResult ref = one_sided_jacobi(inputs[i], *ord, opt.batch.jacobi);
+    EXPECT_EQ(result_digest(results[i]), result_digest(ref)) << "request " << i;
+  }
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, inputs.size());
+  EXPECT_EQ(stats.completed, inputs.size());
+  EXPECT_EQ(stats.batched_lanes, inputs.size());
+  EXPECT_GE(stats.batches, (inputs.size() + opt.batch.lane_width - 1) / opt.batch.lane_width /
+                               opt.shards);
+  EXPECT_EQ(stats.latency.count(), inputs.size());
+  EXPECT_LE(stats.latency.p50_ns(), stats.latency.p99_ns());
+  server.stop();
+  EXPECT_FALSE(server.submit(inputs[0], &results[0]));  // stopped: rejected
+}
+
+TEST(SvdServer, ConcurrentProducersUnderBackpressure) {
+  const OrderingPtr ord = make_ordering("round-robin");
+  ServeOptions opt;
+  opt.rows = 8;
+  opt.cols = 6;
+  opt.shards = 1;
+  opt.queue_capacity = 2;  // tiny bound: producers must block and recover
+  opt.batch.lane_width = 4;
+  SvdServer server(*ord, opt);
+  server.start();
+
+  Rng rng(7);
+  constexpr std::size_t kPerProducer = 6;
+  std::vector<Matrix> inputs;
+  for (std::size_t i = 0; i < 3 * kPerProducer; ++i)
+    inputs.push_back(random_gaussian(8, 6, rng));
+  std::vector<SvdResult> results(inputs.size());
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::size_t idx = p * kPerProducer + i;
+        ASSERT_TRUE(server.submit(inputs[idx], &results[idx]));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.wait_idle();
+  server.stop();
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const SvdResult ref = one_sided_jacobi(inputs[i], *ord, opt.batch.jacobi);
+    EXPECT_EQ(result_digest(results[i]), result_digest(ref)) << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace treesvd

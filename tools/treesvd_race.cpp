@@ -24,7 +24,7 @@
 //
 // Usage:
 //   treesvd_race [--n=8] [--rows=12] [--seed=2026] [--schedules=16]
-//                [--threads=4] [--engines=threaded,spmd] [--orderings=...]
+//                [--threads=4] [--engines=threaded,spmd,batched] [--orderings=...]
 //                [--max-sweeps=60] [--json=PATH] [--self-test]
 
 #if !defined(TREESVD_ANALYSIS) || !TREESVD_ANALYSIS
@@ -56,6 +56,7 @@ int main() {
 #include "analysis/hooks.hpp"
 #include "core/registry.hpp"
 #include "linalg/generators.hpp"
+#include "svd/batch.hpp"
 #include "svd/determinism.hpp"
 #include "svd/jacobi.hpp"
 #include "svd/spmd.hpp"
@@ -147,6 +148,28 @@ const std::vector<Engine>& engines(unsigned threads) {
         {"spmd", [](const Matrix& a, const Ordering& ord, const JacobiOptions& opt) {
            return spmd_jacobi(a, ord, opt);
          }});
+    // Batched engine: 5 identical copies across 2 SIMD shards on a shared
+    // pool. Every lane must digest identically (same input, same schedule),
+    // and the oracle then holds lane 0 to the serial reference — the full
+    // bitwise contract under fuzzed shard interleavings.
+    kEngines.push_back({"batched", [threads](const Matrix& a, const Ordering& ord,
+                                             const JacobiOptions& opt) {
+                          BatchedSvdOptions bopt;
+                          bopt.jacobi = opt;
+                          bopt.lane_width = 4;
+                          BatchedSvd engine(a.rows(), a.cols(), ord, bopt);
+                          const std::vector<Matrix> inputs(5, a);
+                          ThreadPool pool(threads);
+                          const auto rs =
+                              engine.solve({inputs.data(), inputs.size()}, &pool);
+                          const std::uint64_t d0 = result_digest(rs.front());
+                          for (std::size_t b = 1; b < rs.size(); ++b)
+                            if (result_digest(rs[b]) != d0)
+                              throw std::runtime_error(
+                                  "batched lane " + std::to_string(b) +
+                                  " diverged from lane 0 on identical input");
+                          return rs.front();
+                        }});
   }
   return kEngines;
 }
@@ -311,7 +334,7 @@ int main(int argc, const char* const* argv) {
   const Cli cli(argc, argv);
   if (cli.has("help")) {
     std::cout << "usage: treesvd_race [--n=8] [--rows=12] [--seed=2026] [--schedules=16]\n"
-                 "                    [--threads=4] [--engines=threaded,spmd]\n"
+                 "                    [--threads=4] [--engines=threaded,spmd,batched]\n"
                  "                    [--orderings=a,b,...] [--max-sweeps=60] [--json=PATH]\n"
                  "                    [--self-test]\n";
     return 0;
@@ -330,7 +353,7 @@ int main(int argc, const char* const* argv) {
 
   std::vector<std::string> onames = ordering_names();
   if (cli.has("orderings")) onames = split_csv(cli.get("orderings", ""));
-  std::vector<std::string> enames = {"threaded", "spmd"};
+  std::vector<std::string> enames = {"threaded", "spmd", "batched"};
   if (cli.has("engines")) enames = split_csv(cli.get("engines", ""));
 
   Rng rng(base_seed);

@@ -1,0 +1,181 @@
+// treesvd_serve — many-SVD serving front-end over the batched engine.
+//
+// Boots an SvdServer (svd/serve.hpp: thread-per-shard, bounded MPSC
+// submission queues with backpressure, preallocated SoA arena slabs), replays
+// a seeded synthetic request trace against it, verifies a sample of served
+// results bitwise against direct sequential solves, and dumps the latency
+// histogram and throughput counters as JSON.
+//
+// Exit status is the contract: 0 when every verified result matches the
+// sequential engine bit-for-bit and the histogram is sane (count == requests,
+// p50 <= p99, nonzero QPS); 1 on any violation; 2 on usage error.
+//
+// Usage:
+//   treesvd_serve [--rows=32] [--cols=16] [--ordering=round-robin]
+//                 [--shards=2] [--lane-width=8] [--queue-cap=64]
+//                 [--requests=512] [--seed=2026] [--verify=32]
+//                 [--scalar] [--json=PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "linalg/generators.hpp"
+#include "svd/determinism.hpp"
+#include "svd/jacobi.hpp"
+#include "svd/serve.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace treesvd::serve_tool {
+namespace {
+
+std::string histogram_json(const LatencyHistogram& h) {
+  std::ostringstream os;
+  os << "{\"count\": " << h.count() << ", \"p50_ns\": " << h.p50_ns()
+     << ", \"p99_ns\": " << h.p99_ns() << ", \"max_ns\": " << h.max_ns()
+     << ", \"log2_buckets\": [";
+  // Trailing zero buckets are elided; what remains is the occupied prefix.
+  std::size_t last = 0;
+  for (std::size_t k = 0; k < LatencyHistogram::kBuckets; ++k)
+    if (h.buckets()[k] != 0) last = k + 1;
+  for (std::size_t k = 0; k < last; ++k) os << (k != 0 ? "," : "") << h.buckets()[k];
+  os << "]}";
+  return os.str();
+}
+
+int main(int argc, const char* const* argv) {
+  const Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::cout << "usage: treesvd_serve [--rows=32] [--cols=16] [--ordering=round-robin]\n"
+                 "                     [--shards=2] [--lane-width=8] [--queue-cap=64]\n"
+                 "                     [--requests=512] [--seed=2026] [--verify=32]\n"
+                 "                     [--scalar] [--json=PATH]\n";
+    return 0;
+  }
+  const auto rows = static_cast<std::size_t>(cli.get_int("rows", 32));
+  const auto cols = static_cast<std::size_t>(cli.get_int("cols", 16));
+  const auto shards = static_cast<std::size_t>(cli.get_int("shards", 2));
+  const auto lane_width = static_cast<std::size_t>(cli.get_int("lane-width", 8));
+  const auto queue_cap = static_cast<std::size_t>(cli.get_int("queue-cap", 64));
+  const auto requests = static_cast<std::size_t>(cli.get_int("requests", 512));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+  const auto verify = static_cast<std::size_t>(cli.get_int("verify", 32));
+  const std::string oname = cli.get("ordering", "round-robin");
+  if (rows < cols || cols < 2 || shards < 1 || requests < 1) {
+    std::cerr << "treesvd_serve: need rows >= cols >= 2, shards >= 1, requests >= 1\n";
+    return 2;
+  }
+
+  OrderingPtr ordering;
+  try {
+    ordering = make_ordering(oname);
+  } catch (const std::exception& e) {
+    std::cerr << "treesvd_serve: " << e.what() << "\n";
+    return 2;
+  }
+
+  ServeOptions opt;
+  opt.rows = rows;
+  opt.cols = cols;
+  opt.shards = shards;
+  opt.queue_capacity = queue_cap;
+  opt.batch.lane_width = lane_width;
+  opt.batch.use_simd = !cli.has("scalar");
+
+  // Canned trace: `requests` seeded Gaussian problems, generated up front so
+  // the replay measures the server, not the generator.
+  Rng rng(seed);
+  std::vector<Matrix> inputs;
+  inputs.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) inputs.push_back(random_gaussian(rows, cols, rng));
+  std::vector<SvdResult> results(requests);
+
+  SvdServer server(*ordering, opt);
+  server.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (!server.submit(inputs[i], &results[i])) {
+      std::cerr << "treesvd_serve: submit rejected at request " << i << "\n";
+      return 1;
+    }
+  }
+  server.wait_idle();
+  const auto t1 = std::chrono::steady_clock::now();
+  server.stop();
+  const double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  const double qps = elapsed_s > 0.0 ? static_cast<double>(requests) / elapsed_s : 0.0;
+
+  // Verification gate: a deterministic sample of served results must be
+  // bitwise the direct sequential solve (the engine's lane contract,
+  // end-to-end through queueing and batching).
+  bool ok = true;
+  const std::size_t nverify = std::min(verify, requests);
+  const std::size_t stride = nverify == 0 ? 1 : std::max<std::size_t>(1, requests / nverify);
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < requests && verified < nverify; i += stride, ++verified) {
+    const SvdResult ref = one_sided_jacobi(inputs[i], *ordering, opt.batch.jacobi);
+    if (result_digest(results[i]) != result_digest(ref)) {
+      std::cerr << "treesvd_serve: VERIFY FAIL request " << i
+                << " diverged from sequential solve\n";
+      ok = false;
+    }
+  }
+
+  const ServeStats stats = server.stats();
+  if (stats.completed != requests || stats.latency.count() != requests) {
+    std::cerr << "treesvd_serve: accounting mismatch: completed=" << stats.completed
+              << " latency_count=" << stats.latency.count() << " requests=" << requests << "\n";
+    ok = false;
+  }
+  if (stats.latency.p50_ns() > stats.latency.p99_ns()) {
+    std::cerr << "treesvd_serve: histogram insane: p50 > p99\n";
+    ok = false;
+  }
+  if (qps <= 0.0) {
+    std::cerr << "treesvd_serve: nonpositive throughput\n";
+    ok = false;
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"treesvd_serve\",\n  \"rows\": " << rows << ",\n  \"cols\": " << cols
+     << ",\n  \"ordering\": \"" << oname << "\",\n  \"shards\": " << shards
+     << ",\n  \"lane_width\": " << lane_width << ",\n  \"queue_capacity\": " << queue_cap
+     << ",\n  \"simd\": " << (opt.batch.use_simd ? "true" : "false")
+     << ",\n  \"requests\": " << requests << ",\n  \"seed\": " << seed
+     << ",\n  \"elapsed_s\": " << elapsed_s << ",\n  \"qps\": " << qps
+     << ",\n  \"batches\": " << stats.batches << ",\n  \"mean_batch_fill\": "
+     << (stats.batches != 0
+             ? static_cast<double>(stats.batched_lanes) / static_cast<double>(stats.batches)
+             : 0.0)
+     << ",\n  \"verified\": " << verified << ",\n  \"pass\": " << (ok ? "true" : "false")
+     << ",\n  \"latency\": " << histogram_json(stats.latency) << "\n}\n";
+
+  const std::string path = cli.get("json", "");
+  if (path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream f(path);
+    f << os.str();
+    if (!f) {
+      std::cerr << "treesvd_serve: cannot write " << path << "\n";
+      return 2;
+    }
+    std::cout << (ok ? "pass" : "FAIL") << ": " << requests << " requests, qps=" << qps
+              << ", p50=" << stats.latency.p50_ns() << "ns, p99=" << stats.latency.p99_ns()
+              << "ns -> " << path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treesvd::serve_tool
+
+int main(int argc, char** argv) { return treesvd::serve_tool::main(argc, argv); }
