@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "core/registry.hpp"
 #include "linalg/blas1.hpp"
+#include "linalg/dispatch.hpp"
 #include "linalg/generators.hpp"
 #include "linalg/rotation.hpp"
 #include "svd/jacobi.hpp"
@@ -389,6 +390,100 @@ int run_json_mode(const std::string& path) {
     root.add_array("driver", {drv});
     std::printf("driver n=%zu  uncached %.2f ms  cached %.2f ms  speedup %.2fx\n", n,
                 t_uncached * 1e3, t_cached * 1e3, t_uncached / t_cached);
+  }
+
+  // Per-ISA-tier sections: the hot single-problem kernels timed through every
+  // tier's kernel table the host supports (kernels_for — explicit AVX2 /
+  // AVX-512F SIMD), against the scalar `_ref` twins. The twins are the
+  // PR-2-style autovectorized multi-accumulator loops, compiled with default
+  // flags in blas1.cpp / rotation.cpp, so `speedup_vs_ref` is exactly the
+  // explicit-SIMD-vs-autovectorized ratio per tier. Bitwise agreement of
+  // every timed call is asserted on the fly (the dispatch layer's contract).
+  {
+    root.add("isa_detected", isa_name(detected_isa()));
+    root.add("isa_resolved", isa_name(resolved_isa()));
+    std::vector<JsonObject> tier_rows;
+    for (const IsaTier tier : {IsaTier::kBaseline, IsaTier::kAvx2, IsaTier::kAvx512}) {
+      if (!isa_supported(tier)) continue;
+      const KernelTable& t = kernels_for(tier);
+      for (const std::size_t m : {std::size_t{512}, std::size_t{4096}}) {
+        auto x = random_vec(m, rng);
+        auto y = random_vec(m, rng);
+        const double c = 0.8;
+        const double s = 0.6;
+        const int calls = static_cast<int>(std::max<std::size_t>(20000, 30000000 / m));
+
+        if (t.dot(x.data(), y.data(), m) != dot_ref(x, y))
+          return fail("dispatched dot is not bitwise equal to dot_ref");
+        const double dot_simd = time_per_call(
+            [&] { benchmark::DoNotOptimize(t.dot(x.data(), y.data(), m)); }, calls);
+        const double dot_scalar =
+            time_per_call([&] { benchmark::DoNotOptimize(dot_ref(x, y)); }, calls);
+
+        {
+          double app = 0, aqq = 0, apq = 0;
+          t.gram_pair(x.data(), y.data(), m, &app, &aqq, &apq);
+          const GramPair g = gram_pair_ref(x, y);
+          if (app != g.app || aqq != g.aqq || apq != g.apq)
+            return fail("dispatched gram_pair is not bitwise equal to gram_pair_ref");
+        }
+        const double gram_simd = time_per_call(
+            [&] {
+              double app = 0, aqq = 0, apq = 0;
+              t.gram_pair(x.data(), y.data(), m, &app, &aqq, &apq);
+              benchmark::DoNotOptimize(app + aqq + apq);
+            },
+            calls);
+        const double gram_scalar = time_per_call(
+            [&] { benchmark::DoNotOptimize(gram_pair_ref(x, y)); }, calls);
+
+        {
+          auto xs = x;
+          auto ys = y;
+          auto xr = x;
+          auto yr = y;
+          double xx = 0, yy = 0;
+          t.rotate_and_norms(xs.data(), ys.data(), m, c, s, &xx, &yy);
+          const RotatedNorms rn = rotate_and_norms_ref(xr, yr, c, s);
+          if (xx != rn.app || yy != rn.aqq || xs != xr || ys != yr)
+            return fail("dispatched rotate_and_norms is not bitwise equal to its _ref twin");
+        }
+        const double rot_simd = time_per_call(
+            [&] {
+              double xx = 0, yy = 0;
+              t.rotate_and_norms(x.data(), y.data(), m, c, s, &xx, &yy);
+              benchmark::DoNotOptimize(xx + yy);
+            },
+            calls);
+        const double rot_scalar = time_per_call(
+            [&] {
+              const RotatedNorms rn = rotate_and_norms_ref(x, y, c, s);
+              benchmark::DoNotOptimize(rn.app + rn.aqq);
+            },
+            calls);
+
+        JsonObject row;
+        row.add("tier", t.name);
+        row.add("n", static_cast<long long>(m));
+        row.add("dot_ns_per_call", dot_simd * 1e9);
+        row.add("dot_ref_ns_per_call", dot_scalar * 1e9);
+        row.add("dot_speedup_vs_ref", dot_scalar / dot_simd);
+        row.add("gram_pair_ns_per_call", gram_simd * 1e9);
+        row.add("gram_pair_ref_ns_per_call", gram_scalar * 1e9);
+        row.add("gram_pair_speedup_vs_ref", gram_scalar / gram_simd);
+        row.add("rotate_and_norms_ns_per_call", rot_simd * 1e9);
+        row.add("rotate_and_norms_ref_ns_per_call", rot_scalar * 1e9);
+        row.add("rotate_and_norms_speedup_vs_ref", rot_scalar / rot_simd);
+        tier_rows.push_back(row);
+        std::printf(
+            "tier=%-8s n=%5zu  dot %6.1f/%6.1f ns (%.2fx)  gram %6.1f/%6.1f ns (%.2fx)  "
+            "rot+norms %6.1f/%6.1f ns (%.2fx)\n",
+            t.name, m, dot_simd * 1e9, dot_scalar * 1e9, dot_scalar / dot_simd, gram_simd * 1e9,
+            gram_scalar * 1e9, gram_scalar / gram_simd, rot_simd * 1e9, rot_scalar * 1e9,
+            rot_scalar / rot_simd);
+      }
+    }
+    root.add_array("isa_tiers", tier_rows);
   }
 
   // Debug pass counters of a representative cached run, for the record.

@@ -5,65 +5,107 @@
 #include <utility>
 #include <vector>
 
-#include "linalg/blas1_batched_isa.hpp"
+#include "linalg/dispatch.hpp"
 #include "linalg/rotation.hpp"
 
-#if defined(__GNUC__) && !defined(__clang__)
-// The anonymous-namespace batched kernels pass and return vectors wider than
-// the baseline ABI supports natively; they are internal to this TU and fully
-// inlined, so the ABI caveat cannot bite. TU-wide (not push/pop) because GCC
-// re-emits the diagnostic at end-of-file template instantiation, outside any
-// scoped region in blas1_batched_impl.inc.
-#pragma GCC diagnostic ignored "-Wpsabi"
-#endif
-
 namespace treesvd {
-namespace {
 
-// Raw-pointer cores. std::span aliasing is opaque to the optimiser; the
-// restrict qualification plus four independent accumulators is what lets the
-// compiler emit wide FMAs without a loop-carried dependence on one sum.
+// ---------------------------------------------------------------------------
+// Scalar reference twins. These spell out the canonical accumulation chains
+// the dispatched SIMD kernels (kernels_single_impl.inc) reproduce bitwise;
+// they are the cross-check targets of linalg_dispatch_test and the
+// implementation of last resort on builds without vector extensions.
+// ---------------------------------------------------------------------------
 
-double dot_core(const double* __restrict x, const double* __restrict y,
-                std::size_t n) noexcept {
+double dot_ref(std::span<const double> x, std::span<const double> y) noexcept {
+  const double* __restrict xp = x.data();
+  const double* __restrict yp = y.data();
+  const std::size_t n = x.size();
   double s0 = 0.0;
   double s1 = 0.0;
   double s2 = 0.0;
   double s3 = 0.0;
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    s0 += x[i] * y[i];
-    s1 += x[i + 1] * y[i + 1];
-    s2 += x[i + 2] * y[i + 2];
-    s3 += x[i + 3] * y[i + 3];
+    s0 += xp[i] * yp[i];
+    s1 += xp[i + 1] * yp[i + 1];
+    s2 += xp[i + 2] * yp[i + 2];
+    s3 += xp[i + 3] * yp[i + 3];
   }
-  for (; i < n; ++i) s0 += x[i] * y[i];
+  for (; i < n; ++i) s0 += xp[i] * yp[i];
   return (s0 + s1) + (s2 + s3);
 }
 
-double sumsq_core(const double* __restrict x, std::size_t n) noexcept {
+double sumsq_ref(std::span<const double> x) noexcept {
+  const double* __restrict xp = x.data();
+  const std::size_t n = x.size();
   double s0 = 0.0;
   double s1 = 0.0;
   double s2 = 0.0;
   double s3 = 0.0;
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    s0 += x[i] * x[i];
-    s1 += x[i + 1] * x[i + 1];
-    s2 += x[i + 2] * x[i + 2];
-    s3 += x[i + 3] * x[i + 3];
+    s0 += xp[i] * xp[i];
+    s1 += xp[i + 1] * xp[i + 1];
+    s2 += xp[i + 2] * xp[i + 2];
+    s3 += xp[i + 3] * xp[i + 3];
   }
-  for (; i < n; ++i) s0 += x[i] * x[i];
+  for (; i < n; ++i) s0 += xp[i] * xp[i];
   return (s0 + s1) + (s2 + s3);
 }
 
-}  // namespace
+void axpy_ref(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+  const double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+GramPair gram_pair_ref(std::span<const double> x, std::span<const double> y) noexcept {
+  const double* __restrict xp = x.data();
+  const double* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  // Four mod-4 chains per Gram element (twelve partial sums): element i
+  // feeds chain i % 4, the tail feeds chain 0, combine (c0+c1)+(c2+c3) —
+  // one vector accumulator per element in the SIMD twin.
+  double xx0 = 0.0, xx1 = 0.0, xx2 = 0.0, xx3 = 0.0;
+  double yy0 = 0.0, yy1 = 0.0, yy2 = 0.0, yy3 = 0.0;
+  double xy0 = 0.0, xy1 = 0.0, xy2 = 0.0, xy3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    xx0 += xp[i] * xp[i];
+    yy0 += yp[i] * yp[i];
+    xy0 += xp[i] * yp[i];
+    xx1 += xp[i + 1] * xp[i + 1];
+    yy1 += yp[i + 1] * yp[i + 1];
+    xy1 += xp[i + 1] * yp[i + 1];
+    xx2 += xp[i + 2] * xp[i + 2];
+    yy2 += yp[i + 2] * yp[i + 2];
+    xy2 += xp[i + 2] * yp[i + 2];
+    xx3 += xp[i + 3] * xp[i + 3];
+    yy3 += yp[i + 3] * yp[i + 3];
+    xy3 += xp[i + 3] * yp[i + 3];
+  }
+  for (; i < n; ++i) {
+    xx0 += xp[i] * xp[i];
+    yy0 += yp[i] * yp[i];
+    xy0 += xp[i] * yp[i];
+  }
+  return {(xx0 + xx1) + (xx2 + xx3), (yy0 + yy1) + (yy2 + yy3), (xy0 + xy1) + (xy2 + xy3)};
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points: one relaxed load resolves the tier, then the call
+// goes through the table. Results are bitwise identical on every tier.
+// ---------------------------------------------------------------------------
 
 double dot(std::span<const double> x, std::span<const double> y) noexcept {
-  return dot_core(x.data(), y.data(), x.size());
+  return kernels().dot(x.data(), y.data(), x.size());
 }
 
-double sumsq(std::span<const double> x) noexcept { return sumsq_core(x.data(), x.size()); }
+double sumsq(std::span<const double> x) noexcept {
+  return kernels().sumsq(x.data(), x.size());
+}
 
 double nrm2(std::span<const double> x) noexcept {
   // LAPACK dnrm2-style scaled accumulation.
@@ -139,10 +181,7 @@ double sumsq_robust(std::span<const double> x) noexcept {
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
-  const double* __restrict xp = x.data();
-  double* __restrict yp = y.data();
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+  kernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scal(double alpha, std::span<double> x) noexcept {
@@ -164,38 +203,9 @@ void swap(std::span<double> x, std::span<double> y) noexcept {
 }
 
 GramPair gram_pair(std::span<const double> x, std::span<const double> y) noexcept {
-  const double* __restrict xp = x.data();
-  const double* __restrict yp = y.data();
-  const std::size_t n = x.size();
-  // Two accumulators per Gram element: six partial sums keep the FMA ports
-  // busy without spilling accumulator registers.
-  double xx0 = 0.0;
-  double xx1 = 0.0;
-  double yy0 = 0.0;
-  double yy1 = 0.0;
-  double xy0 = 0.0;
-  double xy1 = 0.0;
-  std::size_t i = 0;
-  for (; i + 2 <= n; i += 2) {
-    const double x0 = xp[i];
-    const double y0 = yp[i];
-    const double x1 = xp[i + 1];
-    const double y1 = yp[i + 1];
-    xx0 += x0 * x0;
-    yy0 += y0 * y0;
-    xy0 += x0 * y0;
-    xx1 += x1 * x1;
-    yy1 += y1 * y1;
-    xy1 += x1 * y1;
-  }
-  if (i < n) {
-    const double x0 = xp[i];
-    const double y0 = yp[i];
-    xx0 += x0 * x0;
-    yy0 += y0 * y0;
-    xy0 += x0 * y0;
-  }
-  return {xx0 + xx1, yy0 + yy1, xy0 + xy1};
+  GramPair g;
+  kernels().gram_pair(x.data(), y.data(), x.size(), &g.app, &g.aqq, &g.apq);
+  return g;
 }
 
 // ---------------------------------------------------------------------------
@@ -225,13 +235,14 @@ void scatter_lane(const double* __restrict src, std::size_t m, std::size_t w, st
 
 #if defined(__GNUC__) || defined(__clang__)
 #define TREESVD_BATCH_VEC 1
+#endif
 
-// Baseline-ISA copies of the vectorized lane-block kernels (the same bodies
-// compile to YMM/ZMM code in blas1_batched_avx2.cpp/blas1_batched_avx512.cpp;
-// the public entry points below pick the widest copy the CPU supports).
-#include "linalg/blas1_batched_impl.inc"
-
-#endif  // vector extensions
+/// The vectorized lane-block copies cover w in {4, 8, 16}; other widths
+/// take the reference path. The ISA tier inside the table is the single
+/// process-wide resolution of linalg/dispatch.hpp.
+inline bool batched_vector_width(std::size_t w) noexcept {
+  return w == 4 || w == 8 || w == 16;
+}
 
 }  // namespace
 
@@ -319,26 +330,9 @@ void batched_apply_rotation_ref(double* x, double* y, std::size_t m, std::size_t
   }
 }
 
-int batched_isa_tier() noexcept {
-#if defined(TREESVD_BATCH_VEC) && defined(TREESVD_BATCH_ISA_X86)
-  static const int tier = [] {
-    if (__builtin_cpu_supports("avx512f")) return 2;
-    if (__builtin_cpu_supports("avx2")) return 1;
-    return 0;
-  }();
-  return tier;
-#else
-  return 0;
-#endif
-}
-
 const char* batched_kernel_isa() noexcept {
 #ifdef TREESVD_BATCH_VEC
-  switch (batched_isa_tier()) {
-    case 2: return "avx512f";
-    case 1: return "avx2";
-    default: return "baseline";
-  }
+  return isa_name(resolved_isa());
 #else
   return "scalar-ref";
 #endif
@@ -346,42 +340,27 @@ const char* batched_kernel_isa() noexcept {
 
 void batched_dot(const double* x, const double* y, std::size_t m, std::size_t w,
                  double* out) noexcept {
-#ifdef TREESVD_BATCH_VEC
-  if (w == 4 || w == 8 || w == 16) {
-    switch (batched_isa_tier()) {
-      case 2: batched_dot_avx512(x, y, m, w, out); return;
-      case 1: batched_dot_avx2(x, y, m, w, out); return;
-      default: batched_dot_g<4>(x, y, m, w, out); return;
-    }
+  if (batched_vector_width(w)) {
+    kernels().batched_dot(x, y, m, w, out);
+    return;
   }
-#endif
   batched_dot_ref(x, y, m, w, out);
 }
 
 void batched_sumsq(const double* x, std::size_t m, std::size_t w, double* out) noexcept {
-#ifdef TREESVD_BATCH_VEC
-  if (w == 4 || w == 8 || w == 16) {
-    switch (batched_isa_tier()) {
-      case 2: batched_sumsq_avx512(x, m, w, out); return;
-      case 1: batched_sumsq_avx2(x, m, w, out); return;
-      default: batched_sumsq_g<4>(x, m, w, out); return;
-    }
+  if (batched_vector_width(w)) {
+    kernels().batched_sumsq(x, m, w, out);
+    return;
   }
-#endif
   batched_sumsq_ref(x, m, w, out);
 }
 
 void batched_gram_pair(const double* x, const double* y, std::size_t m, std::size_t w,
                        double* app, double* aqq, double* apq) noexcept {
-#ifdef TREESVD_BATCH_VEC
-  if (w == 4 || w == 8 || w == 16) {
-    switch (batched_isa_tier()) {
-      case 2: batched_gram_pair_avx512(x, y, m, w, app, aqq, apq); return;
-      case 1: batched_gram_pair_avx2(x, y, m, w, app, aqq, apq); return;
-      default: batched_gram_pair_g<4>(x, y, m, w, app, aqq, apq); return;
-    }
+  if (batched_vector_width(w)) {
+    kernels().batched_gram_pair(x, y, m, w, app, aqq, apq);
+    return;
   }
-#endif
   batched_gram_pair_ref(x, y, m, w, app, aqq, apq);
 }
 
@@ -389,30 +368,20 @@ void batched_rotate_and_norms(double* x, double* y, std::size_t m, std::size_t w
                               const double* c, const double* s, const std::uint8_t* rotate,
                               const std::uint8_t* swap_lanes, double* app,
                               double* aqq) noexcept {
-#ifdef TREESVD_BATCH_VEC
-  if (w == 4 || w == 8 || w == 16) {
-    switch (batched_isa_tier()) {
-      case 2: batched_rotate_and_norms_avx512(x, y, m, w, c, s, rotate, swap_lanes, app, aqq); return;
-      case 1: batched_rotate_and_norms_avx2(x, y, m, w, c, s, rotate, swap_lanes, app, aqq); return;
-      default: batched_rotate_and_norms_g<4>(x, y, m, w, c, s, rotate, swap_lanes, app, aqq); return;
-    }
+  if (batched_vector_width(w)) {
+    kernels().batched_rotate_and_norms(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
+    return;
   }
-#endif
   batched_rotate_and_norms_ref(x, y, m, w, c, s, rotate, swap_lanes, app, aqq);
 }
 
 void batched_apply_rotation(double* x, double* y, std::size_t m, std::size_t w, const double* c,
                             const double* s, const std::uint8_t* rotate,
                             const std::uint8_t* swap_lanes) noexcept {
-#ifdef TREESVD_BATCH_VEC
-  if (w == 4 || w == 8 || w == 16) {
-    switch (batched_isa_tier()) {
-      case 2: batched_apply_rotation_avx512(x, y, m, w, c, s, rotate, swap_lanes); return;
-      case 1: batched_apply_rotation_avx2(x, y, m, w, c, s, rotate, swap_lanes); return;
-      default: batched_apply_rotation_g<4>(x, y, m, w, c, s, rotate, swap_lanes); return;
-    }
+  if (batched_vector_width(w)) {
+    kernels().batched_apply_rotation(x, y, m, w, c, s, rotate, swap_lanes);
+    return;
   }
-#endif
   batched_apply_rotation_ref(x, y, m, w, c, s, rotate, swap_lanes);
 }
 

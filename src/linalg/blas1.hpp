@@ -3,10 +3,13 @@
 //
 // These are the only dense kernels the one-sided Jacobi method needs: the
 // Gram elements of a column pair (dot products and squared norms) and the
-// plane-rotation updates. The implementations use restrict-qualified raw
-// pointers and multiple independent accumulators so the compiler can keep
-// several vector lanes of partial sums in flight (the single-accumulator
-// form serialises on the add latency chain and halves SIMD throughput).
+// plane-rotation updates. The hot entry points (dot, sumsq, axpy, gram_pair)
+// resolve through the runtime CPU-dispatch layer (linalg/dispatch.hpp) to
+// explicit-SIMD per-ISA kernels; the `_ref` twins below spell out the exact
+// scalar accumulation chains those kernels reproduce bitwise, so results are
+// identical on every tier. All forms use multiple independent accumulator
+// chains (mod-4 element interleave) so partial sums stay in flight instead of
+// serialising on the add latency chain.
 
 #include <cstddef>
 #include <cstdint>
@@ -20,6 +23,13 @@ double dot(std::span<const double> x, std::span<const double> y) noexcept;
 /// x . x, accumulated unscaled (consistent with gram_pair; use nrm2 when the
 /// entries may overflow or underflow under squaring).
 double sumsq(std::span<const double> x) noexcept;
+
+/// Scalar reference twins of the dispatched kernels: four mod-4 accumulation
+/// chains, tail into chain 0, combine (s0+s1)+(s2+s3). Bitwise identical to
+/// the dispatched forms on every ISA tier (enforced by linalg_dispatch_test);
+/// use these when an independent implementation is wanted for cross-checks.
+double dot_ref(std::span<const double> x, std::span<const double> y) noexcept;
+double sumsq_ref(std::span<const double> x) noexcept;
 
 /// dlassq-style representation of a sum of squares: the pair (scale, ssq)
 /// stands for scale^2 * ssq with scale = max |x_i| visited so far, so the
@@ -59,6 +69,10 @@ double nrm2(std::span<const double> x) noexcept;
 /// y += alpha * x
 void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept;
 
+/// Scalar reference twin of axpy (elementwise, so any vectorization is
+/// bitwise-free; the twin exists for the dispatch test's cross-check).
+void axpy_ref(double alpha, std::span<const double> x, std::span<double> y) noexcept;
+
 /// x *= alpha
 void scal(double alpha, std::span<double> x) noexcept;
 
@@ -78,6 +92,10 @@ struct GramPair {
   double apq;
 };
 GramPair gram_pair(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Scalar reference twin of gram_pair: four mod-4 chains per Gram element
+/// (twelve partial sums), tail into chain 0, combine (c0+c1)+(c2+c3).
+GramPair gram_pair_ref(std::span<const double> x, std::span<const double> y) noexcept;
 
 // ---------------------------------------------------------------------------
 // Batched SoA lane-block kernels (the cross-problem axis of svd/batch.hpp).

@@ -11,6 +11,7 @@
 
 #include "analysis/hooks.hpp"
 #include "linalg/blas1.hpp"
+#include "linalg/dispatch.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
 
@@ -46,37 +47,48 @@ std::atomic<std::size_t> stat_fallback{0};
 std::atomic<std::size_t> stat_serial{0};
 std::atomic<std::size_t> stat_inline{0};
 
-/// Runs task(i) for i in [0, count). Route order: caller-owned pool (its
-/// owner vouches for exclusivity — no gate), shared pool when the gate is
-/// free, the thread's registered fallback pool when it is not, serial last.
-/// Tasks write disjoint output, so every route produces identical results.
-void dispatch(std::size_t count, std::size_t flops, ThreadPool* pool,
+/// Runs task(i) for i in [0, count) in chunks of `grain` consecutive
+/// indices. Route order: caller-owned pool (its owner vouches for
+/// exclusivity — no gate), shared pool when the gate is free, the thread's
+/// registered fallback pool when it is not, serial last. The serial routes
+/// walk the same grain-chunked order the pools hand out, so the configured
+/// grain survives gate contention — which route wins never changes the work
+/// decomposition. Tasks write disjoint output, so every route produces
+/// identical results.
+void dispatch(std::size_t count, std::size_t flops, ThreadPool* pool, std::size_t grain,
               const std::function<void(std::size_t)>& task) {
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const auto run_serial = [&] {
+    for (std::size_t c0 = 0; c0 < count; c0 += g) {
+      const std::size_t end = std::min(count, c0 + g);
+      for (std::size_t i = c0; i < end; ++i) task(i);
+    }
+  };
   if (pool == nullptr || count <= 1 || flops < kParallelFlops) {
     stat_inline.fetch_add(1, std::memory_order_relaxed);
-    for (std::size_t i = 0; i < count; ++i) task(i);
+    run_serial();
     return;
   }
   if (pool != gemm_pool()) {
     stat_pooled.fetch_add(1, std::memory_order_relaxed);
-    pool->parallel_for(count, task, 1);
+    pool->parallel_for(count, task, g);
     return;
   }
   if (pool_gate().try_lock()) {
     const std::unique_lock<std::mutex> gate(pool_gate(), std::adopt_lock);
     stat_pooled.fetch_add(1, std::memory_order_relaxed);
-    pool->parallel_for(count, task, 1);
+    pool->parallel_for(count, task, g);
     return;
   }
   if (tl_gemm_fallback != nullptr) {
     // Contended shared pool, but this thread carries its own: a concurrent
     // batch shard keeps its BLAS-3 parallel instead of single-threading.
     stat_fallback.fetch_add(1, std::memory_order_relaxed);
-    tl_gemm_fallback->parallel_for(count, task, 1);
+    tl_gemm_fallback->parallel_for(count, task, g);
     return;
   }
   stat_serial.fetch_add(1, std::memory_order_relaxed);
-  for (std::size_t i = 0; i < count; ++i) task(i);
+  run_serial();
 }
 
 /// jki loop for tiny products (streams down columns of a and c).
@@ -125,20 +137,6 @@ void pack_b(const Matrix& b, std::size_t k0, std::size_t kc_eff, std::size_t j0,
       for (std::size_t c = 0; c < ncols; ++c) out[k * kNr + c] = b(k0 + k, c0 + c);
       for (std::size_t c = ncols; c < kNr; ++c) out[k * kNr + c] = 0.0;
     }
-  }
-}
-
-/// mr x nr register micro-kernel: acc += Ap · Bp over the kc_eff depth. The
-/// accumulator tile lives in registers across the whole loop (mr*nr = 16
-/// independent chains — the same multi-accumulator idea as the BLAS-1
-/// layer, here in two dimensions).
-inline void micro_kernel(const double* __restrict ap, const double* __restrict bp,
-                         std::size_t kc_eff, double* __restrict acc) {
-  for (std::size_t k = 0; k < kc_eff; ++k) {
-    const double* __restrict av = ap + k * kMr;
-    const double* __restrict bv = bp + k * kNr;
-    for (std::size_t r = 0; r < kMr; ++r)
-      for (std::size_t c = 0; c < kNr; ++c) acc[r * kNr + c] += av[r] * bv[c];
   }
 }
 
@@ -200,6 +198,13 @@ void gemm_into(Matrix& c, const Matrix& a, const Matrix& b, ThreadPool* pool,
   const std::size_t mtiles = (m + mc - 1) / mc;
   const std::size_t ntiles = (n + nc - 1) / nc;
 
+  // The mr x nr register micro-kernel resolves through the CPU-dispatch
+  // layer once per product (one relaxed load), not once per tile: every
+  // worker of this product uses the same table. Each of the 16 accumulator
+  // elements advances once per depth step in k order, matching
+  // gemm_micro_ref bitwise on every tier.
+  const auto micro = kernels().gemm_micro;
+
   // One task per (row tile, column tile) of C; each task owns a disjoint
   // C tile, loops the depth blocks, and packs into its own local buffers
   // (the redundant packing is amortised over mc*nc*kc flops per block).
@@ -227,8 +232,8 @@ void gemm_into(Matrix& c, const Matrix& a, const Matrix& b, ThreadPool* pool,
           const std::size_t ir = ip * kMr;
           const std::size_t nrows = std::min(kMr, mc_eff - ir);
           acc.fill(0.0);
-          micro_kernel(apack.data() + ip * kc_eff * kMr, bpack.data() + jp * kc_eff * kNr,
-                       kc_eff, acc.data());
+          micro(apack.data() + ip * kc_eff * kMr, bpack.data() + jp * kc_eff * kNr, kc_eff,
+                acc.data());
           for (std::size_t cc = 0; cc < ncols; ++cc) {
             double* __restrict cj = c.col(j0 + jr + cc).data() + i0 + ir;
             for (std::size_t r = 0; r < nrows; ++r) cj[r] += acc[r * kNr + cc];
@@ -237,7 +242,7 @@ void gemm_into(Matrix& c, const Matrix& a, const Matrix& b, ThreadPool* pool,
       }
     }
   };
-  dispatch(mtiles * ntiles, flops, pool, tile_task);
+  dispatch(mtiles * ntiles, flops, pool, tiling.grain, tile_task);
 }
 
 Matrix gemm(const Matrix& a, const Matrix& b, ThreadPool* pool, const GemmTiling& tiling) {
@@ -272,7 +277,7 @@ void syrk_t_into(Matrix& g, const Matrix& a, ThreadPool* pool) {
       }
     }
   };
-  dispatch(pairs.size(), m * n * n, pool, task);
+  dispatch(pairs.size(), m * n * n, pool, 1, task);
 }
 
 Matrix syrk_t(const Matrix& a, ThreadPool* pool) {
@@ -309,7 +314,7 @@ Matrix gram_panel(const Matrix& a, std::span<const int> cols, ThreadPool* pool) 
       }
     }
   };
-  dispatch(chunks, m * kw * kw, pool, task);
+  dispatch(chunks, m * kw * kw, pool, 1, task);
 
   // Fixed chunk order keeps the reduction bitwise-deterministic.
   for (std::size_t t = 0; t < chunks; ++t) {
@@ -375,7 +380,7 @@ std::vector<double> apply_panel_update(Matrix& a, std::span<const int> cols, con
       partial[t * kw + j] = sumsq({out, len});
     }
   };
-  dispatch(chunks, m * kw * kw, pool, task);
+  dispatch(chunks, m * kw * kw, pool, 1, task);
 
   std::vector<double> sums(kw, 0.0);
   for (std::size_t t = 0; t < chunks; ++t) {

@@ -41,6 +41,13 @@ struct GemmTiling {
   std::size_t kc = 256;  ///< shared (inner) dimension per packed block
   std::size_t nc = 64;   ///< columns of B per packed block
 
+  /// Scheduling grain: C tiles are handed out in chunks of this many
+  /// consecutive task indices. Threaded through *every* dispatch route —
+  /// pooled, fallback-pool, and the gate-contended serial path, which walks
+  /// the same chunk order — so which route wins the pool gate never changes
+  /// the work decomposition or its traversal order.
+  std::size_t grain = 1;
+
   /// Register micro-kernel footprint: an mr x nr accumulator tile lives in
   /// registers across the kc loop. Fixed at compile time.
   static constexpr std::size_t mr = 4;

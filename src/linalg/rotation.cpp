@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "linalg/blas1_batched_isa.hpp"
+#include "linalg/dispatch.hpp"
 
 namespace treesvd {
 
@@ -71,90 +71,57 @@ void apply_rotation_swapped(std::span<double> x, std::span<double> y, double c,
 
 namespace {
 
-#if defined(__GNUC__) || defined(__clang__)
-#define TREESVD_HAVE_VEC_EXT 1
-// Two-lane double vector (one SSE2 register). The compiler cannot vectorise
-// the fused loop on its own — the norm accumulation is a floating-point
-// reduction, which strict IEEE semantics forbid reassociating — so the lane
-// split is spelled out here. Each lane still computes exactly
-// c*x[i] - s*y[i] / s*x[i] + c*y[i], so the rotated columns are bit-identical
-// to apply_rotation*(); only the *order* of the norm summation differs.
-typedef double v2d __attribute__((vector_size(16)));
-#endif
-
-// Shared body for the fused kernels; `kSwap` selects which rotated vector
-// lands in which column (paper eq. (3) writes the pair back in sorted order).
+// Shared body for the fused reference twins; `kSwap` selects which rotated
+// vector lands in which column (paper eq. (3) writes the pair back in sorted
+// order). The compiler cannot vectorise this loop on its own — the norm
+// accumulation is a floating-point reduction, which strict IEEE semantics
+// forbid reassociating — so the chain split is spelled out: element i feeds
+// norm chain i % 4, chains combine (a0+a2)+(a1+a3), the tail is appended
+// after the combine. The dispatched SIMD kernels (kernels_single_impl.inc)
+// keep one 4-wide vector accumulator whose lanes *are* these chains, so they
+// match bitwise.
 template <bool kSwap>
-RotatedNorms rotate_and_norms_impl(double* __restrict xp, double* __restrict yp,
+RotatedNorms rotate_norms_ref_impl(double* __restrict xp, double* __restrict yp,
                                    std::size_t n, double c, double s) noexcept {
-  double xx = 0.0;
-  double yy = 0.0;
+  double xx0 = 0.0, xx1 = 0.0, xx2 = 0.0, xx3 = 0.0;
+  double yy0 = 0.0, yy1 = 0.0, yy2 = 0.0, yy3 = 0.0;
   std::size_t i = 0;
-#ifdef TREESVD_HAVE_VEC_EXT
-  v2d xx0 = {0.0, 0.0};
-  v2d xx1 = {0.0, 0.0};
-  v2d yy0 = {0.0, 0.0};
-  v2d yy1 = {0.0, 0.0};
-  const v2d cv = {c, c};
-  const v2d sv = {s, s};
   for (; i + 4 <= n; i += 4) {
-    v2d x0;
-    v2d x1;
-    v2d y0;
-    v2d y1;
-    __builtin_memcpy(&x0, xp + i, 16);
-    __builtin_memcpy(&x1, xp + i + 2, 16);
-    __builtin_memcpy(&y0, yp + i, 16);
-    __builtin_memcpy(&y1, yp + i + 2, 16);
-    const v2d r0 = cv * x0 - sv * y0;
-    const v2d t0 = sv * x0 + cv * y0;
-    const v2d r1 = cv * x1 - sv * y1;
-    const v2d t1 = sv * x1 + cv * y1;
-    const v2d nx0 = kSwap ? t0 : r0;
-    const v2d ny0 = kSwap ? r0 : t0;
-    const v2d nx1 = kSwap ? t1 : r1;
-    const v2d ny1 = kSwap ? r1 : t1;
-    __builtin_memcpy(xp + i, &nx0, 16);
-    __builtin_memcpy(xp + i + 2, &nx1, 16);
-    __builtin_memcpy(yp + i, &ny0, 16);
-    __builtin_memcpy(yp + i + 2, &ny1, 16);
-    xx0 += nx0 * nx0;
-    yy0 += ny0 * ny0;
-    xx1 += nx1 * nx1;
-    yy1 += ny1 * ny1;
-  }
-  const v2d xxs = xx0 + xx1;
-  const v2d yys = yy0 + yy1;
-  xx = xxs[0] + xxs[1];
-  yy = yys[0] + yys[1];
-#else
-  // Portable fallback: 2-way unroll with independent accumulators so the
-  // reductions don't form one long dependence chain.
-  double xxa = 0.0;
-  double xxb = 0.0;
-  double yya = 0.0;
-  double yyb = 0.0;
-  for (; i + 2 <= n; i += 2) {
     const double r0 = c * xp[i] - s * yp[i];
     const double t0 = s * xp[i] + c * yp[i];
     const double r1 = c * xp[i + 1] - s * yp[i + 1];
     const double t1 = s * xp[i + 1] + c * yp[i + 1];
+    const double r2 = c * xp[i + 2] - s * yp[i + 2];
+    const double t2 = s * xp[i + 2] + c * yp[i + 2];
+    const double r3 = c * xp[i + 3] - s * yp[i + 3];
+    const double t3 = s * xp[i + 3] + c * yp[i + 3];
     const double nx0 = kSwap ? t0 : r0;
     const double ny0 = kSwap ? r0 : t0;
     const double nx1 = kSwap ? t1 : r1;
     const double ny1 = kSwap ? r1 : t1;
+    const double nx2 = kSwap ? t2 : r2;
+    const double ny2 = kSwap ? r2 : t2;
+    const double nx3 = kSwap ? t3 : r3;
+    const double ny3 = kSwap ? r3 : t3;
     xp[i] = nx0;
     yp[i] = ny0;
     xp[i + 1] = nx1;
     yp[i + 1] = ny1;
-    xxa += nx0 * nx0;
-    yya += ny0 * ny0;
-    xxb += nx1 * nx1;
-    yyb += ny1 * ny1;
+    xp[i + 2] = nx2;
+    yp[i + 2] = ny2;
+    xp[i + 3] = nx3;
+    yp[i + 3] = ny3;
+    xx0 += nx0 * nx0;
+    yy0 += ny0 * ny0;
+    xx1 += nx1 * nx1;
+    yy1 += ny1 * ny1;
+    xx2 += nx2 * nx2;
+    yy2 += ny2 * ny2;
+    xx3 += nx3 * nx3;
+    yy3 += ny3 * ny3;
   }
-  xx = xxa + xxb;
-  yy = yya + yyb;
-#endif
+  double xx = (xx0 + xx2) + (xx1 + xx3);
+  double yy = (yy0 + yy2) + (yy1 + yy3);
   for (; i < n; ++i) {
     const double r0 = c * xp[i] - s * yp[i];
     const double t0 = s * xp[i] + c * yp[i];
@@ -172,12 +139,26 @@ RotatedNorms rotate_and_norms_impl(double* __restrict xp, double* __restrict yp,
 
 RotatedNorms rotate_and_norms(std::span<double> x, std::span<double> y, double c,
                               double s) noexcept {
-  return rotate_and_norms_impl<false>(x.data(), y.data(), x.size(), c, s);
+  RotatedNorms r;
+  kernels().rotate_and_norms(x.data(), y.data(), x.size(), c, s, &r.app, &r.aqq);
+  return r;
 }
 
 RotatedNorms rotate_and_norms_swapped(std::span<double> x, std::span<double> y, double c,
                                       double s) noexcept {
-  return rotate_and_norms_impl<true>(x.data(), y.data(), x.size(), c, s);
+  RotatedNorms r;
+  kernels().rotate_and_norms_swapped(x.data(), y.data(), x.size(), c, s, &r.app, &r.aqq);
+  return r;
+}
+
+RotatedNorms rotate_and_norms_ref(std::span<double> x, std::span<double> y, double c,
+                                  double s) noexcept {
+  return rotate_norms_ref_impl<false>(x.data(), y.data(), x.size(), c, s);
+}
+
+RotatedNorms rotate_and_norms_swapped_ref(std::span<double> x, std::span<double> y, double c,
+                                          double s) noexcept {
+  return rotate_norms_ref_impl<true>(x.data(), y.data(), x.size(), c, s);
 }
 
 namespace detail {
@@ -217,40 +198,20 @@ void batched_drift_gate_scalar(const double* app, const double* aqq, const doubl
 void batched_compute_rotation(const double* app, const double* aqq, const double* apq,
                               std::size_t w, double tol, double* c, double* s,
                               std::uint8_t* identity) noexcept {
-#ifdef TREESVD_BATCH_ISA_X86
   if (w % 4 == 0) {
-    switch (batched_isa_tier()) {
-      case 2:
-        batched_compute_rotation_avx512(app, aqq, apq, w, tol, c, s, identity);
-        return;
-      case 1:
-        batched_compute_rotation_avx2(app, aqq, apq, w, tol, c, s, identity);
-        return;
-      default:
-        break;
-    }
+    kernels().batched_compute_rotation(app, aqq, apq, w, tol, c, s, identity);
+    return;
   }
-#endif
   detail::batched_compute_rotation_scalar(app, aqq, apq, w, tol, c, s, identity);
 }
 
 void batched_drift_gate(const double* app, const double* aqq, const double* apq,
                         std::size_t w, double tol, double guard,
                         std::uint8_t* near_mask) noexcept {
-#ifdef TREESVD_BATCH_ISA_X86
   if (w % 4 == 0) {
-    switch (batched_isa_tier()) {
-      case 2:
-        batched_drift_gate_avx512(app, aqq, apq, w, tol, guard, near_mask);
-        return;
-      case 1:
-        batched_drift_gate_avx2(app, aqq, apq, w, tol, guard, near_mask);
-        return;
-      default:
-        break;
-    }
+    kernels().batched_drift_gate(app, aqq, apq, w, tol, guard, near_mask);
+    return;
   }
-#endif
   detail::batched_drift_gate_scalar(app, aqq, apq, w, tol, guard, near_mask);
 }
 

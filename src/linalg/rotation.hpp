@@ -69,6 +69,16 @@ RotatedNorms rotate_and_norms(std::span<double> x, std::span<double> y, double c
 RotatedNorms rotate_and_norms_swapped(std::span<double> x, std::span<double> y, double c,
                                       double s) noexcept;
 
+/// Scalar reference twins of the fused kernels: the rotated values are exactly
+/// c*x[i] - s*y[i] / s*x[i] + c*y[i] (bitwise equal to apply_rotation*), and
+/// the norm reduction uses four mod-4 chains combined (a0+a2)+(a1+a3) with the
+/// tail appended after the combine. The dispatched SIMD forms reproduce this
+/// order bitwise on every ISA tier (enforced by linalg_dispatch_test).
+RotatedNorms rotate_and_norms_ref(std::span<double> x, std::span<double> y, double c,
+                                  double s) noexcept;
+RotatedNorms rotate_and_norms_swapped_ref(std::span<double> x, std::span<double> y, double c,
+                                          double s) noexcept;
+
 /// Batched per-lane rotation decisions over SoA Gram arrays (the decision
 /// stage of the batched engine, svd/batch.hpp): for every lane b,
 /// (c[b], s[b], identity[b]) = compute_rotation({app[b], aqq[b], apq[b]}, tol),

@@ -370,6 +370,7 @@ DistributedResult distributed_jacobi(const Matrix& a, const Ordering& ordering,
   }
   out.cost.total_time = out.cost.compute_time + out.cost.comm_time;
   out.svd.kernel_stats = counters.snapshot();
+  out.svd.kernel_stats.isa_tier = static_cast<int>(resolved_isa());
   out.recovery = rec;
 
   // Gather: index i's column sits at the slot the final layout assigns it.

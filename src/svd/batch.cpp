@@ -11,6 +11,7 @@
 
 #include "analysis/hooks.hpp"
 #include "linalg/blas1.hpp"
+#include "linalg/dispatch.hpp"
 #include "linalg/rotation.hpp"
 #include "svd/driver_detail.hpp"
 #include "svd/equilibrate.hpp"
@@ -191,6 +192,10 @@ void BatchedSvd::solve_into(std::span<const Matrix* const> inputs,
                     "BatchedSvd input shape mismatch");
     require_finite_columns(*a, "batched_svd");
   }
+  // Same per-solve tier override as the sequential drivers; the batched and
+  // single-problem paths then report the same resolved tier in KernelStats
+  // (one process-wide dispatch resolution, linalg/dispatch.hpp).
+  const ScopedIsaOverride isa_guard(options_.jacobi.force_isa);
   const std::size_t w = options_.lane_width;
   const std::size_t nshards = (inputs.size() + w - 1) / w;
   reserve(inputs.size());
@@ -618,6 +623,11 @@ void BatchedSvd::finalize_shard(Shard& sh, std::span<const Matrix* const> inputs
     partial.rotations = sh.rotations[b];
     partial.swaps = sh.swaps[b];
     partial.kernel_stats = sh.stats[b];
+    // Matches the sequential driver's report bit-for-bit: the tier is the
+    // process-wide resolution, whether the lane kernels ran vectorized or on
+    // the gather + scalar reference path (use_simd == false) — both are
+    // served from the same dispatch table.
+    partial.kernel_stats.isa_tier = static_cast<int>(kernels().tier);
     *results[b] = detail::finalize(std::move(hb), std::move(vb), *inputs[b], jo, sh.guards[b],
                                    std::move(partial));
   }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/registry.hpp"
 #include "linalg/blas1.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/rotation.hpp"
@@ -15,6 +16,55 @@
 
 namespace treesvd {
 namespace detail {
+namespace {
+
+/// Level-2 recursion: the sequence of local pair visits of one encounter's
+/// inner passes. With an inner_ordering name the registered ordering is
+/// reused recursively over the 2b *local* positions — the local layout
+/// chains across the encounter's inner sweeps via final_layout(), exactly as
+/// the outer driver chains block layouts — and each step's pairs are
+/// disjoint (checked by treesvd_lint's inner-recursion rule). Empty name, or
+/// an ordering that does not support 2b, falls back to the historical serial
+/// cyclic pass.
+class InnerSchedule {
+ public:
+  InnerSchedule(const std::string& name, std::size_t kw) {
+    if (name.empty()) return;
+    OrderingPtr ord = make_ordering(name);  // throws for unknown names
+    if (!ord->supports(static_cast<int>(kw))) return;
+    ord_ = std::move(ord);
+    layout_.resize(kw);
+    for (std::size_t i = 0; i < kw; ++i) layout_[i] = static_cast<int>(i);
+  }
+
+  /// Runs one inner pass, invoking f(a, b) with local positions a < b.
+  template <typename F>
+  void pass(std::size_t kw, int sweep, F&& f) {
+    if (ord_ == nullptr) {
+      for (std::size_t a = 0; a < kw; ++a)
+        for (std::size_t b = a + 1; b < kw; ++b) f(a, b);
+      return;
+    }
+    const Sweep s = ord_->sweep_from(layout_, sweep);
+    for (int t = 0; t < s.steps(); ++t) {
+      const StepPairs pairs = s.step_pairs(t);
+      for (int k = 0; k < pairs.leaves(); ++k) {
+        if (!pairs.active_at(k)) continue;
+        const IndexPair p = pairs.at(k);
+        f(static_cast<std::size_t>(std::min(p.even, p.odd)),
+          static_cast<std::size_t>(std::max(p.even, p.odd)));
+      }
+    }
+    const auto fin = s.final_layout();
+    layout_.assign(fin.begin(), fin.end());
+  }
+
+ private:
+  OrderingPtr ord_;
+  std::vector<int> layout_;
+};
+
+}  // namespace
 
 InnerPanelStats inner_orthogonalise_elementwise(Matrix& h, Matrix* v,
                                                 const std::vector<int>& cols,
@@ -24,21 +74,22 @@ InnerPanelStats inner_orthogonalise_elementwise(Matrix& h, Matrix* v,
   jopt.tol = opt.tol;
   jopt.sort = opt.sort;
   jopt.cache_norms = opt.cache_norms;
+  // Level 0 bound once per encounter: every inner rotation of this panel
+  // resolves through the same dispatch table.
+  const PairKernel kernel(jopt);
+  InnerSchedule schedule(opt.inner_ordering, cols.size());
   InnerPanelStats stats;
   for (int sweep = 0; sweep < opt.inner_sweeps; ++sweep) {
     std::size_t pass_rot = 0;
     std::size_t pass_swap = 0;
-    for (std::size_t a = 0; a < cols.size(); ++a) {
-      for (std::size_t b = a + 1; b < cols.size(); ++b) {
-        const int i = std::min(cols[a], cols[b]);
-        const int j = std::max(cols[a], cols[b]);
-        const auto o = cache != nullptr
-                           ? detail::process_pair_cached(h, v, i, j, jopt, *cache)
-                           : detail::process_pair(h, v, i, j, jopt, plain_counters);
-        pass_rot += o.rotated ? 1 : 0;
-        pass_swap += o.swapped ? 1 : 0;
-      }
-    }
+    schedule.pass(cols.size(), sweep, [&](std::size_t a, std::size_t b) {
+      const int i = std::min(cols[a], cols[b]);
+      const int j = std::max(cols[a], cols[b]);
+      const auto o = cache != nullptr ? kernel.process_cached(h, v, i, j, *cache)
+                                      : kernel.process(h, v, i, j, plain_counters);
+      pass_rot += o.rotated ? 1 : 0;
+      pass_swap += o.swapped ? 1 : 0;
+    });
     stats.rotations += pass_rot;
     stats.swaps += pass_swap;
     if (pass_rot == 0 && pass_swap == 0) break;  // panel already orthogonal
@@ -97,31 +148,30 @@ InnerPanelStats inner_orthogonalise_gram(Matrix& h, Matrix* v, const std::vector
   counters.add_gram_build();
   Matrix w = Matrix::identity(kw);
 
+  InnerSchedule schedule(opt.inner_ordering, kw);
   InnerPanelStats stats;
   for (int sweep = 0; sweep < opt.inner_sweeps; ++sweep) {
     std::size_t pass_rot = 0;
     std::size_t pass_swap = 0;
-    for (std::size_t a = 0; a < kw; ++a) {
-      for (std::size_t b = a + 1; b < kw; ++b) {
-        const GramPair gp{g(a, a), g(b, b), g(a, b)};
-        const JacobiRotation rot = compute_rotation(gp, opt.tol);
-        const bool want_swap = opt.sort == SortMode::kDescending && gp.app < gp.aqq;
-        if (rot.identity && !want_swap) continue;
-        if (!rot.identity) {
-          rotate_gram(g, a, b, rot);
-          // W <- W·J: same column convention as the data-side kernel.
-          apply_rotation(w.col(a), w.col(b), rot.c, rot.s);
-          ++pass_rot;
-        }
-        if (want_swap) {
-          // Fused rotate-and-swap of paper eq. (3), in accumulator form:
-          // interchange the two local indices of G and W.
-          swap_gram(g, a, b);
-          swap(w.col(a), w.col(b));
-          ++pass_swap;
-        }
+    schedule.pass(kw, sweep, [&](std::size_t a, std::size_t b) {
+      const GramPair gp{g(a, a), g(b, b), g(a, b)};
+      const JacobiRotation rot = compute_rotation(gp, opt.tol);
+      const bool want_swap = opt.sort == SortMode::kDescending && gp.app < gp.aqq;
+      if (rot.identity && !want_swap) return;
+      if (!rot.identity) {
+        rotate_gram(g, a, b, rot);
+        // W <- W·J: same column convention as the data-side kernel.
+        apply_rotation(w.col(a), w.col(b), rot.c, rot.s);
+        ++pass_rot;
       }
-    }
+      if (want_swap) {
+        // Fused rotate-and-swap of paper eq. (3), in accumulator form:
+        // interchange the two local indices of G and W.
+        swap_gram(g, a, b);
+        swap(w.col(a), w.col(b));
+        ++pass_swap;
+      }
+    });
     stats.rotations += pass_rot;
     stats.swaps += pass_swap;
     if (pass_rot == 0 && pass_swap == 0) break;  // panel already orthogonal
@@ -153,6 +203,11 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   require_finite_columns(a, "block_one_sided_jacobi");
   TREESVD_REQUIRE(options.block_width >= 1, "block width must be >= 1");
   TREESVD_REQUIRE(options.inner_sweeps >= 1, "need at least one inner sweep");
+  // Validate the inner ordering name up front (unknown names throw here, not
+  // in the middle of the first encounter).
+  if (!options.inner_ordering.empty()) make_ordering(options.inner_ordering);
+  const ScopedIsaOverride isa_guard(options.force_isa);
+  const IsaTier isa_tier = kernels().tier;
 
   const int n = static_cast<int>(a.cols());
   const int b = options.block_width;
@@ -248,6 +303,7 @@ SvdResult block_one_sided_jacobi(const Matrix& a, const Ordering& ordering,
 
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
+  r.kernel_stats.isa_tier = static_cast<int>(isa_tier);
 
   // Finalisation mirrors the element-wise engine (at the equilibrated scale;
   // the common 2^e factor cancels in the U division and sigma is unscaled

@@ -68,6 +68,17 @@ struct BlockJacobiOptions {
   int watchdog_sweeps = 0;
   int stall_window = 4;
   bool full_diagnostics = false;
+  /// Level-2 recursion (DESIGN.md §14): ordering for the *inner* pass over a
+  /// met pair's 2b local columns — any registered ordering name
+  /// (core/registry.hpp, e.g. "round-robin", "fat-tree"), reused recursively
+  /// at the inner level. The local layout chains across the encounter's
+  /// inner sweeps exactly as the outer driver chains block layouts. Empty
+  /// (default) keeps the historical serial cyclic pass; a named ordering
+  /// that does not support 2b columns also falls back to cyclic. Unknown
+  /// names throw std::invalid_argument.
+  std::string inner_ordering;
+  /// CPU-dispatch tier for this solve; see JacobiOptions::force_isa.
+  int force_isa = kIsaAuto;
 };
 
 /// Block one-sided Jacobi SVD of an m x n matrix (m >= n) with the given

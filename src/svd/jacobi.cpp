@@ -19,9 +19,8 @@
 namespace treesvd {
 namespace {
 
+using detail::PairKernel;
 using detail::PairOutcome;
-using detail::process_pair;
-using detail::process_pair_cached;
 
 // Padding, the per-run robustness guards (SweepGuards), finalisation and the
 // scheduled cache-refresh cadence live in svd/driver_detail.hpp, shared
@@ -84,6 +83,11 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "one_sided_jacobi expects m >= n >= 2");
   require_finite_columns(a, "one_sided_jacobi");
+  // Level 0 of the engine hierarchy: one PairKernel, bound once to the
+  // resolved dispatch table (after the per-solve tier override), drives every
+  // pair of the run.
+  const ScopedIsaOverride isa_guard(options.force_isa);
+  const PairKernel kernel(options);
   int padded_n = 0;
   Matrix h = pad_columns(a, ordering, &padded_n);
   SweepGuards guards(options);
@@ -112,8 +116,8 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
         const int i = std::min(p.even, p.odd);
         const int j = std::max(p.even, p.odd);
         const PairOutcome o = options.cache_norms
-                                  ? process_pair_cached(h, vp, i, j, options, cache)
-                                  : process_pair(h, vp, i, j, options, &plain_counters);
+                                  ? kernel.process_cached(h, vp, i, j, cache)
+                                  : kernel.process(h, vp, i, j, &plain_counters);
         sweep_rot += o.rotated ? 1 : 0;
         sweep_swap += o.swapped ? 1 : 0;
       }
@@ -135,6 +139,7 @@ SvdResult one_sided_jacobi(const Matrix& a, const Ordering& ordering,
   }
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
+  r.kernel_stats.isa_tier = static_cast<int>(kernel.tier());
   return finalize(std::move(h), std::move(v), a, options, guards, std::move(r));
 }
 
@@ -143,6 +148,8 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "one_sided_jacobi_threaded expects m >= n >= 2");
   require_finite_columns(a, "one_sided_jacobi_threaded");
+  const ScopedIsaOverride isa_guard(options.force_isa);
+  const PairKernel kernel(options);
   int padded_n = 0;
   Matrix h = pad_columns(a, ordering, &padded_n);
   SweepGuards guards(options);
@@ -178,8 +185,8 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
             const int i = std::min(p.even, p.odd);
             const int j = std::max(p.even, p.odd);
             const PairOutcome o = options.cache_norms
-                                      ? process_pair_cached(h, vp, i, j, options, cache)
-                                      : process_pair(h, vp, i, j, options, &plain_counters);
+                                      ? kernel.process_cached(h, vp, i, j, cache)
+                                      : kernel.process(h, vp, i, j, &plain_counters);
             if (o.rotated) sweep_rot.fetch_add(1, std::memory_order_relaxed);
             if (o.swapped) sweep_swap.fetch_add(1, std::memory_order_relaxed);
           },
@@ -203,6 +210,7 @@ SvdResult one_sided_jacobi_threaded(const Matrix& a, const Ordering& ordering,
   }
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
+  r.kernel_stats.isa_tier = static_cast<int>(kernel.tier());
   return finalize(std::move(h), std::move(v), a, options, guards, std::move(r));
 }
 
@@ -210,6 +218,8 @@ SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
   TREESVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
                   "cyclic_jacobi expects m >= n >= 2");
   require_finite_columns(a, "cyclic_jacobi");
+  const ScopedIsaOverride isa_guard(options.force_isa);
+  const PairKernel kernel(options);
   const int n = static_cast<int>(a.cols());
   Matrix h = a;
   SweepGuards guards(options);
@@ -229,8 +239,8 @@ SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
     for (int i = 0; i < n - 1; ++i) {
       for (int j = i + 1; j < n; ++j) {
         const PairOutcome o = options.cache_norms
-                                  ? process_pair_cached(h, vp, i, j, options, cache)
-                                  : process_pair(h, vp, i, j, options, &plain_counters);
+                                  ? kernel.process_cached(h, vp, i, j, cache)
+                                  : kernel.process(h, vp, i, j, &plain_counters);
         sweep_rot += o.rotated ? 1 : 0;
         sweep_swap += o.swapped ? 1 : 0;
       }
@@ -250,6 +260,7 @@ SvdResult cyclic_jacobi(const Matrix& a, const JacobiOptions& options) {
   }
   r.kernel_stats =
       options.cache_norms ? cache.counters().snapshot() : plain_counters.snapshot();
+  r.kernel_stats.isa_tier = static_cast<int>(kernel.tier());
   return finalize(std::move(h), std::move(v), a, options, guards, std::move(r));
 }
 

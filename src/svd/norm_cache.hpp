@@ -52,6 +52,14 @@ struct KernelStats {
   std::size_t accum_rotations = 0;  ///< rotations accumulated on the small problem
   std::size_t blocked_applies = 0;  ///< P*W / V*W blocked panel applications
 
+  /// Resolved CPU-dispatch tier the kernels ran on: static_cast<int> of
+  /// linalg/dispatch.hpp's IsaTier, or -1 when no driver reported one. The
+  /// batched and single-problem engines report the same process-wide
+  /// resolution. Informational only — results are bitwise tier-invariant,
+  /// so this field is deliberately excluded from result digests
+  /// (svd/determinism.cpp).
+  int isa_tier = -1;
+
   KernelStats& operator+=(const KernelStats& o) noexcept {
     pairs += o.pairs;
     dot_passes += o.dot_passes;
@@ -61,6 +69,9 @@ struct KernelStats {
     gram_builds += o.gram_builds;
     accum_rotations += o.accum_rotations;
     blocked_applies += o.blocked_applies;
+    // All shards of one process resolve the same tier; max() just lets an
+    // unreported (-1) side defer to a reported one.
+    if (o.isa_tier > isa_tier) isa_tier = o.isa_tier;
     return *this;
   }
 };

@@ -363,6 +363,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
   r.swaps = total_swaps;
   KernelStats kernels;
   for (const KernelCounters& c : rank_counters) kernels += c.snapshot();
+  kernels.isa_tier = static_cast<int>(resolved_isa());
   r.kernel_stats = kernels;
 
   std::vector<const SlotState*> by_label(static_cast<std::size_t>(n), nullptr);
