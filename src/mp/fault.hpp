@@ -146,6 +146,29 @@ class RecoveryCounters {
     }
   }
 
+  /// Folds a whole RecoveryStats delta in at once — how a rank *process*
+  /// (socket backend) ships its counters home: the child snapshots at fork,
+  /// subtracts the baseline at exit, and the launcher accumulates the delta,
+  /// landing every tick in the same place an in-process rank's would.
+  void accumulate(const RecoveryStats& s) noexcept {
+    TREESVD_HB_ATOMIC(this, 0, "RecoveryCounters");
+    drops_.fetch_add(s.drops_seen, std::memory_order_relaxed);
+    dups_injected_.fetch_add(s.duplicates_injected, std::memory_order_relaxed);
+    corrupts_injected_.fetch_add(s.corruptions_injected, std::memory_order_relaxed);
+    delays_.fetch_add(s.delays_seen, std::memory_order_relaxed);
+    kills_.fetch_add(s.kills, std::memory_order_relaxed);
+    stalls_.fetch_add(s.stalls, std::memory_order_relaxed);
+    corrupts_detected_.fetch_add(s.corruptions_detected, std::memory_order_relaxed);
+    dups_suppressed_.fetch_add(s.duplicates_suppressed, std::memory_order_relaxed);
+    retries_.fetch_add(s.retries, std::memory_order_relaxed);
+    resends_.fetch_add(s.resends, std::memory_order_relaxed);
+    checkpoints_.fetch_add(s.checkpoints, std::memory_order_relaxed);
+    rollbacks_.fetch_add(s.rollbacks, std::memory_order_relaxed);
+    watchdog_trips_.fetch_add(s.watchdog_trips, std::memory_order_relaxed);
+    norm_rereductions_.fetch_add(s.norm_rereductions, std::memory_order_relaxed);
+    add_virtual_backoff(s.virtual_backoff);
+  }
+
   RecoveryStats snapshot() const noexcept {
     TREESVD_HB_ATOMIC(this, 0, "RecoveryCounters");
     RecoveryStats s;
@@ -182,32 +205,69 @@ class RecoveryCounters {
 };
 
 /// Thrown inside the killed rank's transport op; engines with checkpointing
-/// catch it, roll back, and replay.
+/// catch it, roll back, and replay. The socket backend reconstructs it in
+/// the launcher after the rank process actually died (planned SIGKILL or an
+/// external one), so the engine-side recovery path is backend-agnostic.
 class RankKilledError : public std::runtime_error {
  public:
   RankKilledError(int rank, std::uint64_t op)
       : std::runtime_error("mp: rank " + std::to_string(rank) + " killed by fault plan at op " +
                            std::to_string(op)),
-        rank_(rank) {}
+        rank_(rank),
+        op_(op) {}
+
+  /// A rank process killed from *outside* the fault plan (external SIGKILL,
+  /// hung-heartbeat SIGKILL, crash): the op is unknown, the signal is not.
+  struct External {};
+  RankKilledError(External, int rank, int signal, const std::string& detail)
+      : std::runtime_error("mp: rank " + std::to_string(rank) + " process killed by signal " +
+                           std::to_string(signal) + " (" + detail + ")"),
+        rank_(rank),
+        signal_(signal),
+        external_(true) {}
+
   int rank() const noexcept { return rank_; }
+  std::uint64_t op() const noexcept { return op_; }
+  /// Terminating signal for an external kill (0 for a fault-plan kill).
+  int killed_by_signal() const noexcept { return signal_; }
+  bool external() const noexcept { return external_; }
 
  private:
   int rank_;
+  std::uint64_t op_ = 0;
+  int signal_ = 0;
+  bool external_ = false;
 };
 
 /// Thrown by blocked transport ops on surviving ranks when the world aborts;
 /// a *secondary* failure — World::run never rethrows it while a primary
-/// (program) exception exists.
+/// (program) exception exists. Every throw site names the operation it
+/// interrupted (and its src/dst/tag where one exists) so a multi-process
+/// failure is diagnosable from a single rank's stderr.
 class WorldAbortedError : public std::runtime_error {
  public:
   WorldAbortedError() : std::runtime_error("mp: world aborted by a failing rank") {}
+  explicit WorldAbortedError(const std::string& context)
+      : std::runtime_error("mp: world aborted by a failing rank [" + context + "]") {}
 };
 
 /// Thrown when a message exhausts the reliable transport's retry budget.
+/// Construct through transport_exhausted() so every site carries the full
+/// (src, dst, tag, seq, attempts) context.
 class TransportError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Uniform retry-budget-exhaustion error: names the backend and the message
+/// identity, so one rank's stderr pinpoints the lost frame.
+inline TransportError transport_exhausted(const std::string& backend, int src, int dst,
+                                          std::uint64_t tag, std::uint64_t seq, int attempts) {
+  return TransportError("mp[" + backend + "]: reliable transport exhausted its retry budget (" +
+                        std::to_string(attempts) + " attempts) for src=" + std::to_string(src) +
+                        " dst=" + std::to_string(dst) + " tag=" + std::to_string(tag) +
+                        " seq=" + std::to_string(seq));
+}
 
 /// What the injector decides to do with one freshly sent frame.
 enum class FaultAction { kDeliver, kDrop, kDuplicate, kCorrupt, kDelay };
@@ -235,6 +295,14 @@ class FaultInjector {
 
   /// One-shot: true exactly once, for the planned (rank, op).
   bool should_kill(int rank, std::uint64_t op);
+
+  /// Marks the one-shot kill as fired without consuming it locally: the
+  /// socket launcher latches its own injector when a rank *process* reports
+  /// the kill firing (the child consumed the latch in its forked copy, which
+  /// the launcher never sees), so a respawned rank inherits a spent latch
+  /// and the replay proceeds past the kill — the exact contract
+  /// reset_for_replay documents for the in-process backend.
+  void latch_kill() noexcept { kill_fired_.store(true, std::memory_order_relaxed); }
 
   /// True whenever (rank, op) matches the stall schedule.
   bool should_stall(int rank, std::uint64_t op) const;

@@ -1,92 +1,18 @@
 #include "mp/message_passing.hpp"
 
-#include <atomic>
 #include <chrono>
-#include <cmath>
-#include <cstring>
-#include <exception>
-#include <string>
 #include <thread>
 
 #include "analysis/hooks.hpp"
+#include "mp/inproc_transport.hpp"
+#include "mp/socket_transport.hpp"
+#include "mp/transport.hpp"
 #include "util/require.hpp"
 
 namespace treesvd::mp {
-namespace {
 
-constexpr std::size_t kFrameHeader = 2;  ///< [seq, checksum] doubles
-
-/// FNV-1a over the payload bytes, seeded with tag and seq, so a flip of any
-/// bit anywhere in the frame (header included) is detected.
-std::uint64_t frame_checksum(std::uint64_t tag, std::uint64_t seq,
-                             const double* data, std::size_t count) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto eat = [&h](std::uint64_t word) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (word >> (8 * b)) & 0xffu;
-      h *= 0x100000001b3ULL;
-    }
-  };
-  eat(tag);
-  eat(seq);
-  for (std::size_t i = 0; i < count; ++i) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &data[i], sizeof(bits));
-    eat(bits);
-  }
-  return h;
-}
-
-double bits_to_double(std::uint64_t bits) noexcept {
-  double d = 0.0;
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
-}
-
-std::uint64_t double_to_bits(double d) noexcept {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &d, sizeof(bits));
-  return bits;
-}
-
-/// Frames a clean payload for the reliable transport.
-std::vector<double> make_frame(std::uint64_t tag, std::uint64_t seq,
-                               const std::vector<double>& payload) {
-  std::vector<double> frame;
-  frame.reserve(kFrameHeader + payload.size());
-  frame.push_back(static_cast<double>(seq));
-  frame.push_back(bits_to_double(frame_checksum(tag, seq, payload.data(), payload.size())));
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  return frame;
-}
-
-/// Validates a frame; on success reports its sequence number.
-bool frame_valid(std::uint64_t tag, const std::vector<double>& frame, std::uint64_t* seq_out) {
-  if (frame.size() < kFrameHeader) return false;
-  const double seq_d = frame[0];
-  // A corrupted seq field may be NaN or out of integer range; reject before
-  // the cast (which would be UB).
-  if (!(seq_d >= 0.0) || seq_d > 9.0e15) return false;
-  const auto seq = static_cast<std::uint64_t>(seq_d);
-  if (static_cast<double>(seq) != seq_d) return false;
-  const std::uint64_t sum =
-      frame_checksum(tag, seq, frame.data() + kFrameHeader, frame.size() - kFrameHeader);
-  if (sum != double_to_bits(frame[1])) return false;
-  *seq_out = seq;
-  return true;
-}
-
-bool is_world_aborted_error(const std::exception_ptr& e) {
-  try {
-    std::rethrow_exception(e);
-  } catch (const WorldAbortedError&) {
-    return true;
-  } catch (...) {
-    return false;
-  }
-}
-
-}  // namespace
+Context::Context(World* world, int rank)
+    : world_(world), rank_(rank), hooks_enabled_(!world->multiprocess()) {}
 
 int Context::size() const noexcept { return world_->size(); }
 
@@ -98,10 +24,7 @@ void Context::check_rank_faults() {
     world_->counters_.add_stall();
     std::this_thread::sleep_for(std::chrono::microseconds(inj->plan().stall_micros));
   }
-  if (inj->should_kill(rank_, op)) {
-    world_->counters_.add_kill();
-    throw RankKilledError(rank_, op);
-  }
+  if (inj->should_kill(rank_, op)) world_->backend_->execute_kill(*this, op);
 }
 
 void Context::send(int dst, std::uint64_t tag, std::vector<double> data) {
@@ -110,62 +33,82 @@ void Context::send(int dst, std::uint64_t tag, std::vector<double> data) {
   check_rank_faults();
   // Sender's clock rides the message: publish it before the frame is
   // enqueued so the matching recv edge is never beaten by the delivery.
-  TREESVD_FUZZ_POINT(analysis::kFuzzMpSend, static_cast<std::uint64_t>(rank_),
-                     static_cast<std::uint64_t>(dst), tag ^ hook_ops_++);
-  TREESVD_HB_SEND(world_, rank_, dst, tag);
-  world_->deliver(dst, rank_, tag, std::move(data));
+  // (Analysis hooks are in-process only: a rank process's tracker writes
+  // would land in its own forked memory and mislead the shared detector.)
+  if (hooks_enabled_) {
+    TREESVD_FUZZ_POINT(analysis::kFuzzMpSend, static_cast<std::uint64_t>(rank_),
+                       static_cast<std::uint64_t>(dst), tag ^ hook_ops_++);
+    TREESVD_HB_SEND(world_, rank_, dst, tag);
+  }
+  world_->backend_->send(*this, dst, tag, std::move(data));
 }
 
 std::vector<double> Context::recv(int src, std::uint64_t tag) {
   TREESVD_REQUIRE(src >= 0 && src < size(), "recv: source rank out of range");
   TREESVD_REQUIRE(src != rank_, "recv: receive-from-self would block forever");
   check_rank_faults();
-  TREESVD_FUZZ_POINT(analysis::kFuzzMpRecv, static_cast<std::uint64_t>(src),
-                     static_cast<std::uint64_t>(rank_), tag ^ hook_ops_++);
-  std::vector<double> payload = world_->take(rank_, src, tag);
+  if (hooks_enabled_) {
+    TREESVD_FUZZ_POINT(analysis::kFuzzMpRecv, static_cast<std::uint64_t>(src),
+                       static_cast<std::uint64_t>(rank_), tag ^ hook_ops_++);
+  }
+  std::vector<double> payload = world_->backend_->recv(*this, src, tag);
   // FIFO edge: merge the clock the matching send published (messages of one
   // (src, tag) stream arrive in send order, mirroring the mailbox contract).
-  TREESVD_HB_RECV(world_, src, rank_, tag);
+  if (hooks_enabled_) {
+    TREESVD_HB_RECV(world_, src, rank_, tag);
+  }
   return payload;
 }
 
 void Context::barrier() {
   check_rank_faults();
-  TREESVD_FUZZ_POINT(analysis::kFuzzMpSync, static_cast<std::uint64_t>(rank_), 0, hook_ops_++);
-  world_->barrier_wait();
+  if (hooks_enabled_) {
+    TREESVD_FUZZ_POINT(analysis::kFuzzMpSync, static_cast<std::uint64_t>(rank_), 0, hook_ops_++);
+  }
+  world_->backend_->barrier(*this);
 }
 
 double Context::allreduce_sum(double value) {
   check_rank_faults();
-  TREESVD_FUZZ_POINT(analysis::kFuzzMpSync, static_cast<std::uint64_t>(rank_), 1, hook_ops_++);
-  // Two-phase: accumulate under the sync lock, publish at the last arrival,
-  // then the generation bump protects the result from the next round's reset.
-  std::unique_lock<std::mutex> lock(world_->sync_mu_);
-  if (world_->aborted()) throw WorldAbortedError();
-  world_->reduce_accum_ += value;
-  const std::uint64_t generation = world_->sync_generation_;
-  TREESVD_HB_BARRIER_ARRIVE(world_, generation);
-  if (++world_->sync_waiting_ == world_->size()) {
-    world_->reduce_result_ = world_->reduce_accum_;
-    world_->reduce_accum_ = 0.0;
-    world_->sync_waiting_ = 0;
-    ++world_->sync_generation_;
-    world_->sync_cv_.notify_all();
-  } else {
-    world_->sync_cv_.wait(lock, [&] {
-      return world_->aborted() || world_->sync_generation_ != generation;
-    });
-    if (world_->sync_generation_ == generation) throw WorldAbortedError();
+  if (hooks_enabled_) {
+    TREESVD_FUZZ_POINT(analysis::kFuzzMpSync, static_cast<std::uint64_t>(rank_), 1, hook_ops_++);
   }
-  TREESVD_HB_BARRIER_DEPART(world_, generation);
-  return world_->reduce_result_;
+  return world_->backend_->allreduce_sum(*this, value);
 }
 
-World::World(int ranks) {
-  TREESVD_REQUIRE(ranks >= 1, "need at least one rank");
-  mailboxes_.reserve(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+void Context::publish(std::uint64_t key, std::vector<double> blob) {
+  world_->backend_->publish(*this, key, std::move(blob));
 }
+
+World::World(int ranks) : ranks_(ranks) {
+  TREESVD_REQUIRE(ranks >= 1, "need at least one rank");
+  backend_ = std::make_unique<InprocTransport>(this);
+}
+
+World::~World() = default;
+
+void World::set_backend(Backend backend, const SocketConfig& config) {
+  TREESVD_REQUIRE(!running_.load(), "set_backend: a run is in progress");
+  if (backend == backend_kind_ && backend == Backend::kInproc) return;
+  switch (backend) {
+    case Backend::kInproc:
+      backend_ = std::make_unique<InprocTransport>(this);
+      break;
+    case Backend::kSocket:
+      TREESVD_REQUIRE(config.recv_deadline_ms > 0.0 && config.heartbeat_interval_ms > 0.0 &&
+                          config.heartbeat_timeout_ms > 0.0 && config.delay_stall_ms > 0.0,
+                      "socket backend timings must be positive");
+      TREESVD_REQUIRE(config.max_payload_doubles >= 1,
+                      "socket backend needs a positive payload bound");
+      backend_ = std::make_unique<SocketTransport>(this, config);
+      break;
+  }
+  backend_kind_ = backend;
+}
+
+const char* World::backend_name() const noexcept { return backend_->name(); }
+
+bool World::multiprocess() const noexcept { return backend_->multiprocess(); }
 
 void World::set_reliable(const ReliableConfig& config) {
   TREESVD_REQUIRE(config.max_retries >= 1, "reliable transport needs a positive retry budget");
@@ -189,265 +132,60 @@ void World::set_fault_plan(const FaultPlan& plan) {
   injector_ = std::make_unique<FaultInjector>(plan);
 }
 
-void World::deliver(int dst, int src, std::uint64_t tag, std::vector<double> data) {
-  TREESVD_REQUIRE(dst >= 0 && dst < size(), "send: destination rank out of range");
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    if (!reliable_.enabled) {
-      box.queues[{src, tag}].push_back(Packet{std::move(data)});
-    } else {
-      const Key key{src, tag};
-      const std::uint64_t seq = box.send_seq[key]++;
-      const FaultAction act = injector_ != nullptr ? injector_->action(src, dst, tag, seq)
-                                                   : FaultAction::kDeliver;
-      auto& queue = box.queues[key];
-      switch (act) {
-        case FaultAction::kDeliver:
-          queue.push_back(Packet{make_frame(tag, seq, data)});
-          break;
-        case FaultAction::kDrop:
-          counters_.add_drop();
-          break;
-        case FaultAction::kDuplicate: {
-          Packet frame{make_frame(tag, seq, data)};
-          queue.push_back(frame);
-          queue.push_back(std::move(frame));
-          counters_.add_duplicate_injected();
-          break;
-        }
-        case FaultAction::kCorrupt: {
-          Packet frame{make_frame(tag, seq, data)};
-          injector_->corrupt_payload(frame.data, src, dst, tag, seq);
-          queue.push_back(std::move(frame));
-          counters_.add_corruption_injected();
-          break;
-        }
-        case FaultAction::kDelay:
-          // Held past the receive deadline: the receiver recovers via resend
-          // and the late copy is suppressed by its sequence number, so the
-          // transport treats the frame as lost the moment it is delayed.
-          counters_.add_delay();
-          break;
-      }
-      // The clean copy backs NACK/resend recovery until the receiver
-      // acknowledges the sequence number (consumes it), whatever the fate of
-      // the frame above.
-      box.store[key][seq] = std::move(data);
-    }
+void World::run(const std::function<void(Context&)>& program) {
+  TREESVD_REQUIRE(!running_.load(), "World::run: a run is already in progress");
+  TREESVD_REQUIRE(!aborted(), "World::run: reset_for_replay() must rearm an aborted world");
+  running_.store(true);
+  try {
+    backend_->run(program);
+  } catch (...) {
+    running_.store(false);
+    throw;
   }
-  delivered_.fetch_add(1, std::memory_order_relaxed);
-  box.cv.notify_all();
-}
-
-std::vector<double> World::recover_locked(Mailbox& box, const Key& key, std::uint64_t seq,
-                                          int src, int dst, std::uint64_t tag) {
-  double wait = reliable_.deadline;
-  for (int attempt = 0; attempt < reliable_.max_retries; ++attempt) {
-    counters_.add_retry();
-    counters_.add_virtual_backoff(wait);
-    wait *= reliable_.backoff;
-    if (injector_ != nullptr && !injector_->resend_survives(src, dst, tag, seq, attempt)) {
-      counters_.add_drop();
-      continue;  // the retransmission was lost too; back off and NACK again
-    }
-    const auto sit = box.store.find(key);
-    TREESVD_ASSERT(sit != box.store.end());
-    const auto pit = sit->second.find(seq);
-    TREESVD_ASSERT(pit != sit->second.end());
-    std::vector<double> payload = pit->second;
-    counters_.add_resend();
-    box.next_seq[key] = seq + 1;
-    sit->second.erase(sit->second.begin(), sit->second.upper_bound(seq));
-    return payload;
-  }
-  throw TransportError("mp: reliable transport exhausted its retry budget (" +
-                       std::to_string(reliable_.max_retries) + " attempts) for src=" +
-                       std::to_string(src) + " dst=" + std::to_string(dst) +
-                       " tag=" + std::to_string(tag) + " seq=" + std::to_string(seq));
-}
-
-std::vector<double> World::take(int rank, int src, std::uint64_t tag) {
-  TREESVD_REQUIRE(src >= 0 && src < size(), "recv: source rank out of range");
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  const Key key{src, tag};
-
-  // A blocked recv may conclude the message will never come only when the
-  // source rank has finished (died or exited): everything a rank sends is
-  // delivered synchronously from its own thread, so finished + no data is
-  // conclusive — and waiting for it keeps the abort path deterministic (a
-  // message still coming from a live peer is always waited for).
-  const auto src_gone = [&] {
-    return aborted() &&
-           mailboxes_[static_cast<std::size_t>(src)]->finished.load(std::memory_order_acquire);
-  };
-
-  if (!reliable_.enabled) {
-    box.cv.wait(lock, [&] {
-      const auto it = box.queues.find(key);
-      return (it != box.queues.end() && !it->second.empty()) || src_gone();
-    });
-    auto it = box.queues.find(key);
-    if (it == box.queues.end() || it->second.empty()) throw WorldAbortedError();
-    Packet p = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) box.queues.erase(it);
-    return std::move(p.data);
-  }
-
-  // Reliable path: validate frames until the expected sequence number is
-  // consumed cleanly, or the loss is evident and recovery takes over. The
-  // sender writes its retransmit store before enqueuing the frame (same
-  // critical section), so "store holds the expected seq but the queue does
-  // not" is proof of a drop/delay, never a race with an in-flight send.
-  for (;;) {
-    const std::uint64_t expected = box.next_seq[key];
-    box.cv.wait(lock, [&] {
-      const auto it = box.queues.find(key);
-      if (it != box.queues.end() && !it->second.empty()) return true;
-      const auto sit = box.store.find(key);
-      if (sit != box.store.end() && sit->second.count(expected) != 0) return true;
-      return src_gone();
-    });
-    const auto it = box.queues.find(key);
-    if (it != box.queues.end() && !it->second.empty()) {
-      std::uint64_t seq = 0;
-      if (!frame_valid(tag, it->second.front().data, &seq)) {
-        it->second.pop_front();
-        counters_.add_corruption_detected();
-        return recover_locked(box, key, expected, src, rank, tag);
-      }
-      if (seq < expected) {  // duplicate or stale resend survivor
-        it->second.pop_front();
-        counters_.add_duplicate_suppressed();
-        continue;
-      }
-      if (seq == expected) {
-        std::vector<double> payload(it->second.front().data.begin() +
-                                        static_cast<std::ptrdiff_t>(kFrameHeader),
-                                    it->second.front().data.end());
-        it->second.pop_front();
-        box.next_seq[key] = expected + 1;
-        const auto sit = box.store.find(key);
-        if (sit != box.store.end())
-          sit->second.erase(sit->second.begin(), sit->second.upper_bound(expected));
-        return payload;
-      }
-      // seq > expected: the expected frame was lost; leave this one queued.
-      return recover_locked(box, key, expected, src, rank, tag);
-    }
-    const auto sit = box.store.find(key);
-    if (sit != box.store.end() && sit->second.count(expected) != 0)
-      return recover_locked(box, key, expected, src, rank, tag);
-    if (src_gone()) throw WorldAbortedError();
-  }
-}
-
-void World::barrier_wait() {
-  std::unique_lock<std::mutex> lock(sync_mu_);
-  if (aborted()) throw WorldAbortedError();
-  const std::uint64_t generation = sync_generation_;
-  TREESVD_HB_BARRIER_ARRIVE(this, generation);
-  if (++sync_waiting_ == size()) {
-    sync_waiting_ = 0;
-    reduce_accum_ = 0.0;  // barriers and reduces share the counter
-    ++sync_generation_;
-    sync_cv_.notify_all();
-  } else {
-    sync_cv_.wait(lock, [&] { return aborted() || sync_generation_ != generation; });
-    if (sync_generation_ == generation) throw WorldAbortedError();
-  }
-  TREESVD_HB_BARRIER_DEPART(this, generation);
-}
-
-void World::abort_world() noexcept {
-  aborted_.store(true, std::memory_order_release);
-  // Wake every sleeper under its own lock so no wait misses the flag.
-  for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
-    box->cv.notify_all();
-  }
-  std::lock_guard<std::mutex> lock(sync_mu_);
-  sync_cv_.notify_all();
+  running_.store(false);
+  if (!aborted()) purgeable_ = true;
 }
 
 void World::reset_for_replay() {
-  for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
-    box->queues.clear();
-    box->send_seq.clear();
-    box->next_seq.clear();
-    box->store.clear();
-  }
-  {
-    std::lock_guard<std::mutex> lock(sync_mu_);
-    sync_waiting_ = 0;
-    sync_generation_ = 0;
-    reduce_accum_ = 0.0;
-    reduce_result_ = 0.0;
-  }
+  TREESVD_REQUIRE(!running_.load(), "reset_for_replay: a run is in progress — join it first");
+  TREESVD_REQUIRE(aborted(),
+                  "reset_for_replay: the world never aborted (or was already reset) — "
+                  "resetting a healthy world would discard live transport state");
+  backend_->reset_for_replay();
   aborted_.store(false, std::memory_order_release);
 }
 
 void World::purge_leftovers() {
-  for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
-    std::size_t leftover = 0;
-    for (const auto& [key, queue] : box->queues) leftover += queue.size();
-    if (leftover != 0) counters_.add_duplicate_suppressed(leftover);
-    box->queues.clear();
-    box->send_seq.clear();
-    box->next_seq.clear();
-    box->store.clear();
-  }
+  TREESVD_REQUIRE(!running_.load(), "purge_leftovers: a run is in progress — join it first");
+  TREESVD_REQUIRE(reliable_.enabled,
+                  "purge_leftovers: only meaningful under the reliable transport "
+                  "(set_reliable first)");
+  TREESVD_REQUIRE(!aborted(),
+                  "purge_leftovers: the world is aborted — reset_for_replay owns that path "
+                  "(purging would destroy the frames a replay audit counts)");
+  TREESVD_REQUIRE(purgeable_,
+                  "purge_leftovers: no run completed since the last purge — "
+                  "there is nothing to account");
+  backend_->purge_leftovers();
+  purgeable_ = false;
 }
 
-void World::run(const std::function<void(Context&)>& program) {
-  TREESVD_REQUIRE(!aborted(), "World::run: reset_for_replay() must rearm an aborted world");
-  for (auto& box : mailboxes_) box->finished.store(false, std::memory_order_release);
-  [[maybe_unused]] const std::uint64_t epoch = ++run_epoch_;
-  TREESVD_HB_FORK(this, epoch);
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(mailboxes_.size());
-  threads.reserve(mailboxes_.size());
-  for (int r = 0; r < size(); ++r) {
-    threads.emplace_back([&, r] {
-      TREESVD_HB_TASK_BEGIN(this, epoch, "mp rank " + std::to_string(r));
-      Context ctx(this, r);
-      try {
-        program(ctx);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        abort_world();
-      }
-      // Mark this rank finished and wake every receiver: a rank blocked on
-      // this one as a source can now conclude (deterministically) that its
-      // message will never arrive.
-      mailboxes_[static_cast<std::size_t>(r)]->finished.store(true, std::memory_order_release);
-      for (auto& box : mailboxes_) {
-        std::lock_guard<std::mutex> lock(box->mu);
-        box->cv.notify_all();
-      }
-      TREESVD_HB_TASK_END(this, epoch);
-    });
-  }
-  for (auto& t : threads) t.join();
-  TREESVD_HB_JOIN(this, epoch);
-  // All ranks joined. Rethrow deterministically: the lowest-rank primary
-  // (program) failure wins; secondary WorldAbortedError unwindings — ranks
-  // woken only because the world died around them — surface solely when no
-  // primary exists.
-  std::exception_ptr secondary;
-  for (const auto& e : errors) {
-    if (!e) continue;
-    if (is_world_aborted_error(e)) {
-      if (!secondary) secondary = e;
-      continue;
-    }
-    std::rethrow_exception(e);
-  }
-  if (secondary) std::rethrow_exception(secondary);
+bool World::has_published(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(blob_mu_);
+  return blobs_.count(key) != 0;
+}
+
+std::vector<double> World::published(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(blob_mu_);
+  const auto it = blobs_.find(key);
+  TREESVD_REQUIRE(it != blobs_.end(),
+                  "published: no blob under key " + std::to_string(key));
+  return it->second;
+}
+
+long World::process_id(int rank) const noexcept {
+  if (rank < 0 || rank >= ranks_) return 0;
+  return backend_->process_id(rank);
 }
 
 }  // namespace treesvd::mp

@@ -2,12 +2,19 @@
 // Minimal message-passing runtime (a CMMD/MPI-flavoured substrate).
 //
 // The paper's implementation target was the CM-5's message-passing library;
-// this header provides the same programming model in-process: an SPMD world
-// of P ranks (std::threads), blocking tagged send/recv with per-rank
-// mailboxes, barriers, and a sum-allreduce. svd/spmd.hpp builds the actual
-// rank-per-leaf Jacobi program on top of it.
+// this header provides the same programming model behind one interface and
+// two transport backends (DESIGN.md section 15):
 //
-// Semantics:
+//   * Backend::kInproc (default) — an SPMD world of P ranks (std::threads)
+//     with per-rank mailboxes in shared memory. Faults are simulated and
+//     deadlines run on virtual time.
+//   * Backend::kSocket — every rank is its own OS process, exchanging the
+//     same frames over UNIX-domain stream sockets; the launcher process
+//     coordinates collectives, heartbeats and respawn. Faults are physical
+//     (a dropped frame is a killed connection, a delay is a real stall, a
+//     kill is SIGKILL) and receive deadlines run on the wall clock.
+//
+// Semantics (identical across backends):
 //   * send(dst, tag, data) — asynchronous (buffered), never blocks.
 //                            dst must be a valid, different rank.
 //   * recv(src, tag)       — blocks until a matching message arrives;
@@ -15,6 +22,12 @@
 //                            send order. src must be a valid, different rank.
 //   * barrier()            — all ranks.
 //   * allreduce_sum(x)     — returns the sum over all ranks.
+//   * publish(key, blob)   — durable result board: the blob survives rank
+//                            exit (and, on the socket backend, rank death)
+//                            and is read back with World::published() after
+//                            run() returns, or by a respawned rank. This is
+//                            how multi-process engines return results and
+//                            keep checkpoints across respawns.
 //
 // Fault tolerance (opt-in, see mp/fault.hpp):
 //   * set_reliable(cfg) layers a reliable transport over send/recv: frames
@@ -22,10 +35,11 @@
 //     recv validates both, suppresses duplicates/stale frames, and when a
 //     frame is lost, delayed past the deadline, or corrupted it recovers the
 //     *clean* payload from the sender's retransmit store with bounded retry
-//     and deterministic exponential backoff (virtual time — the NACK/resend
-//     round-trips are accounted in RecoveryStats, never waited on a wall
-//     clock). Below the retry budget, delivered payloads are bit-identical
-//     to a fault-free run; beyond it recv throws TransportError.
+//     and deterministic exponential backoff (virtual time in-process; real
+//     NACK round-trips with wall-clock deadlines over sockets). Below the
+//     retry budget, delivered payloads are bit-identical to a fault-free
+//     run; beyond it recv throws TransportError naming (src, dst, tag, seq,
+//     attempts).
 //   * set_fault_plan(plan) installs a seeded deterministic fault injector
 //     (drop/duplicate/corrupt/delay per message, kill/stall per rank); see
 //     FaultPlan. Message faults require the reliable transport.
@@ -35,21 +49,21 @@
 //     flag is up: a message that is still coming from a live peer is always
 //     waited for, so every surviving rank runs exactly its maximal
 //     deterministic prefix and the fault/recovery counters are reproducible
-//     bit-for-bit. Collectives throw on abort outright (a dead rank can
-//     never complete them). run() joins *all* ranks, then rethrows the
-//     lowest-rank primary exception. reset_for_replay() rearms an aborted
-//     world so an engine can roll back to a checkpoint and replay
-//     (svd/spmd.cpp does).
+//     bit-for-bit (in-process; over sockets the wall clock makes retry
+//     counts timing-dependent, but delivered payloads stay bit-identical).
+//     Collectives throw on abort outright (a dead rank can never complete
+//     them). run() joins *all* ranks, then rethrows the lowest-rank primary
+//     exception. reset_for_replay() rearms an aborted world so an engine can
+//     roll back to a checkpoint and replay (svd/spmd.cpp does).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "mp/fault.hpp"
@@ -62,7 +76,37 @@ struct Packet {
   std::vector<double> data;
 };
 
+/// Which transport carries the world's messages.
+enum class Backend {
+  kInproc,  ///< ranks are threads; mailboxes in shared memory (default)
+  kSocket,  ///< ranks are processes; UNIX-domain stream sockets
+};
+
+/// Knobs for the socket backend. Durations are wall-clock milliseconds —
+/// unlike the in-process backend there is no virtual time to hide behind.
+struct SocketConfig {
+  /// Base receive deadline before the first NACK; ReliableConfig::deadline
+  /// scales it and ReliableConfig::backoff grows it per retry.
+  double recv_deadline_ms = 25.0;
+  /// Child -> launcher liveness beacon cadence.
+  double heartbeat_interval_ms = 25.0;
+  /// Silence after which the launcher declares a rank hung and SIGKILLs it
+  /// (feeding the same abort/respawn path as a planned kill).
+  double heartbeat_timeout_ms = 10000.0;
+  /// Physical length of an injected delay fault (must exceed the receive
+  /// deadline for the delay to exercise the recovery path, like the
+  /// in-process backend's "delayed frames are lost" rule).
+  double delay_stall_ms = 120.0;
+  /// Upper bound a receiver accepts in one frame; a corrupted length field
+  /// is rejected by checksum before this, so this bounds only legal senders.
+  std::size_t max_payload_doubles = std::size_t{1} << 20;
+  /// Directory for the per-rank listener sockets (empty: a fresh mkdtemp
+  /// under $TMPDIR, removed with the World).
+  std::string socket_dir;
+};
+
 class World;
+class TransportBackend;
 
 /// Per-rank handle passed to the SPMD program.
 class Context {
@@ -84,29 +128,50 @@ class Context {
   /// Sum of `value` over all ranks (synchronising).
   double allreduce_sum(double value);
 
+  /// Posts a blob to the world's durable result board (overwrites the key).
+  /// Readable with World::published() after run(), and by respawned ranks —
+  /// the only rank-written state guaranteed to survive process death.
+  void publish(std::uint64_t key, std::vector<double> blob);
+
  private:
   friend class World;
-  Context(World* world, int rank) : world_(world), rank_(rank) {}
+  friend class TransportBackend;
+  Context(World* world, int rank);
   /// Applies the fault plan's kill/stall schedule to this transport op.
   void check_rank_faults();
   World* world_;
   int rank_;
+  bool hooks_enabled_;          ///< analysis hooks are in-process only
   std::uint64_t ops_ = 0;       ///< transport ops performed (kill/stall keying)
   std::uint64_t hook_ops_ = 0;  ///< analysis-hook salt; never keys fault plans
 };
 
-/// An SPMD world: constructs P mailboxes and runs a program on P threads.
+/// An SPMD world: P ranks behind a pluggable transport backend.
 class World {
  public:
   explicit World(int ranks);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
-  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  int size() const noexcept { return ranks_; }
+
+  /// Selects the transport (call before run(); kInproc is the default).
+  /// Reliable/fault/recovery configuration is shared, so a program moves
+  /// between backends without any other change.
+  void set_backend(Backend backend, const SocketConfig& config = {});
+
+  Backend backend() const noexcept { return backend_kind_; }
+  const char* backend_name() const noexcept;
+  /// True when ranks are OS processes (kSocket): rank-local memory does not
+  /// survive run() — results must travel via publish().
+  bool multiprocess() const noexcept;
 
   /// Runs program(ctx) on every rank concurrently; returns when all finish.
-  /// If ranks throw, every rank is joined first, then the exception from the
-  /// lowest failing rank is rethrown (documented tie-break: rank order, with
-  /// secondary WorldAbortedError unwindings surfaced only when no primary
-  /// program exception exists).
+  /// If ranks fail, every rank is joined/reaped first, then the exception
+  /// from the lowest failing rank is rethrown (documented tie-break: rank
+  /// order, with secondary WorldAbortedError unwindings surfaced only when
+  /// no primary program exception exists).
   void run(const std::function<void(Context&)>& program);
 
   /// Total logical messages sent since construction (for tests/stats); under
@@ -134,64 +199,57 @@ class World {
 
   /// Rearms an aborted world for a checkpoint replay: clears all mailboxes,
   /// in-flight frames, sequence state and collective state. Cumulative
-  /// statistics and the one-shot kill latch persist, so a replay proceeds
-  /// past the kill and keeps the full fault history. Only call between
-  /// run()s.
+  /// statistics, the one-shot kill latch, and the published-blob board
+  /// persist, so a replay proceeds past the kill, keeps the full fault
+  /// history, and can restore from published checkpoints. Misuse throws
+  /// std::invalid_argument: only call between run()s, and only on a world
+  /// that actually aborted (calling it twice, or on a healthy world, would
+  /// otherwise silently discard live state).
   void reset_for_replay();
 
   /// After a completed run under the reliable transport: discards leftover
   /// frames (suppressed duplicates and delayed stragglers), accounting them
   /// in RecoveryStats::duplicates_suppressed, and releases the retransmit
-  /// store. Only call between run()s.
+  /// store. Misuse throws std::invalid_argument: only call between run()s,
+  /// only with the reliable transport enabled, only after a run completed
+  /// since the last purge, and never on an aborted world (reset_for_replay
+  /// owns that path — purging would destroy the frames a replay audit
+  /// counts).
   void purge_leftovers();
+
+  /// True when `key` has been publish()ed (by any rank, any run).
+  bool has_published(std::uint64_t key) const;
+
+  /// Reads a published blob; throws std::invalid_argument for a missing key.
+  std::vector<double> published(std::uint64_t key) const;
+
+  /// OS process id of a rank while run() is live on a multiprocess backend
+  /// (0 otherwise) — lets chaos harnesses deliver real signals.
+  long process_id(int rank) const noexcept;
 
  private:
   friend class Context;
+  friend class TransportBackend;
 
-  using Key = std::pair<int, std::uint64_t>;  ///< (src, tag)
-
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    /// This rank's thread has exited (normally or by exception). Receivers
-    /// blocked on this rank as a *source* use it to decide, deterministically,
-    /// that the expected message can never arrive.
-    std::atomic<bool> finished{false};
-    std::map<Key, std::deque<Packet>> queues;
-    // Reliable-transport state (guarded by mu).
-    std::map<Key, std::uint64_t> send_seq;  ///< sender side: next seq to assign
-    std::map<Key, std::uint64_t> next_seq;  ///< receiver side: next expected seq
-    std::map<Key, std::map<std::uint64_t, std::vector<double>>> store;  ///< clean copies
-  };
-
-  void deliver(int dst, int src, std::uint64_t tag, std::vector<double> data);
-  std::vector<double> take(int rank, int src, std::uint64_t tag);
-  /// Recovers the clean payload for `seq` from the retransmit store with
-  /// bounded retry; caller holds box.mu. Throws TransportError past budget.
-  std::vector<double> recover_locked(Mailbox& box, const Key& key, std::uint64_t seq, int src,
-                                     int dst, std::uint64_t tag);
-  void barrier_wait();
-  /// Wakes every blocked rank with WorldAbortedError (idempotent).
-  void abort_world() noexcept;
-
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-
-  // Barrier + allreduce state.
-  std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  int sync_waiting_ = 0;
-  std::uint64_t sync_generation_ = 0;
-  double reduce_accum_ = 0.0;
-  double reduce_result_ = 0.0;
+  int ranks_;
+  Backend backend_kind_ = Backend::kInproc;
+  std::unique_ptr<TransportBackend> backend_;
 
   std::atomic<std::size_t> delivered_{0};
 
-  // Fault tolerance.
+  // Fault tolerance (shared across backends).
   ReliableConfig reliable_;
   std::unique_ptr<FaultInjector> injector_;
   RecoveryCounters counters_;
   std::atomic<bool> aborted_{false};
-  std::uint64_t run_epoch_ = 0;  ///< fork-join epoch for the analysis hooks
+
+  // Misuse guards (single caller thread, like run() itself).
+  std::atomic<bool> running_{false};
+  bool purgeable_ = false;
+
+  // Durable result board.
+  mutable std::mutex blob_mu_;
+  std::map<std::uint64_t, std::vector<double>> blobs_;
 };
 
 }  // namespace treesvd::mp

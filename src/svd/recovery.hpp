@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 #include "mp/fault.hpp"
@@ -65,6 +66,24 @@ class ConvergenceWatchdog {
     has_prev_ = false;
   }
 
+  /// Exact double-serialisation (kPacked values appended) so multi-process
+  /// engines can carry the watchdog inside published checkpoint blobs; the
+  /// observed activity is itself a double, so the round trip is bitwise.
+  static constexpr std::size_t kPacked = 4;
+  void pack(std::vector<double>& out) const {
+    out.push_back(static_cast<double>(window_));
+    out.push_back(static_cast<double>(stall_count_));
+    out.push_back(prev_);
+    out.push_back(has_prev_ ? 1.0 : 0.0);
+  }
+  static ConvergenceWatchdog unpack(const double* p) {
+    ConvergenceWatchdog w(static_cast<int>(p[0]));
+    w.stall_count_ = static_cast<int>(p[1]);
+    w.prev_ = p[2];
+    w.has_prev_ = p[3] != 0.0;
+    return w;
+  }
+
  private:
   int window_;
   int stall_count_ = 0;
@@ -95,6 +114,22 @@ class StallDetector {
   bool stalled() const noexcept { return window_ > 0 && streak_ >= window_; }
   /// Length of the trailing non-decreasing streak (diagnostics).
   int streak() const noexcept { return streak_; }
+
+  /// Exact double-serialisation, mirroring ConvergenceWatchdog::pack.
+  static constexpr std::size_t kPacked = 4;
+  void pack(std::vector<double>& out) const {
+    out.push_back(static_cast<double>(window_));
+    out.push_back(static_cast<double>(streak_));
+    out.push_back(prev_);
+    out.push_back(has_prev_ ? 1.0 : 0.0);
+  }
+  static StallDetector unpack(const double* p) {
+    StallDetector s(static_cast<int>(p[0]));
+    s.streak_ = static_cast<int>(p[1]);
+    s.prev_ = p[2];
+    s.has_prev_ = p[3] != 0.0;
+    return s;
+  }
 
  private:
   int window_ = 4;

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <vector>
 
-#include "analysis/hooks.hpp"
 #include "linalg/blas1.hpp"
 #include "mp/message_passing.hpp"
 #include "svd/equilibrate.hpp"
@@ -43,6 +41,151 @@ struct RankCheckpoint {
   StallDetector stall;          ///< observational status classifier state
 };
 
+// ---------------------------------------------------------------------------
+// Durable blob board layout. Checkpoints and results travel through
+// Context::publish so they survive rank *processes* dying (socket backend);
+// the in-process backend stores the identical bytes on the same board, which
+// is what keeps the two backends bit-identical: one serialisation, one code
+// path. Doubles round-trip exactly; integer counters stay below 2^53.
+
+/// Checkpoints: a ring of two board slots per rank, cycled by boundary index
+/// (ranks drift by at most one boundary, so the newest boundary *all* ranks
+/// committed is always on the board). Results: one slot per rank.
+std::uint64_t checkpoint_key(int rank, int slot) {
+  return (std::uint64_t{1} << 56) | (static_cast<std::uint64_t>(rank) << 8) |
+         static_cast<std::uint64_t>(slot);
+}
+std::uint64_t result_key(int rank) {
+  return (std::uint64_t{2} << 56) | static_cast<std::uint64_t>(rank);
+}
+
+void pack_slot(const SlotState& s, std::vector<double>& out) {
+  out.push_back(static_cast<double>(s.label));
+  out.push_back(s.hsq);
+  out.push_back(static_cast<double>(s.h.size()));
+  out.push_back(static_cast<double>(s.v.size()));
+  out.insert(out.end(), s.h.begin(), s.h.end());
+  out.insert(out.end(), s.v.begin(), s.v.end());
+}
+
+/// Returns the number of doubles consumed.
+std::size_t unpack_slot(const double* p, SlotState* s) {
+  s->label = static_cast<int>(p[0]);
+  s->hsq = p[1];
+  const auto hn = static_cast<std::size_t>(p[2]);
+  const auto vn = static_cast<std::size_t>(p[3]);
+  s->h.assign(p + 4, p + 4 + hn);
+  s->v.assign(p + 4 + hn, p + 4 + hn + vn);
+  return 4 + hn + vn;
+}
+
+constexpr std::size_t kKernelsPacked = 8;
+
+void pack_kernels(const KernelStats& k, std::vector<double>& out) {
+  out.push_back(static_cast<double>(k.pairs));
+  out.push_back(static_cast<double>(k.dot_passes));
+  out.push_back(static_cast<double>(k.gram_passes));
+  out.push_back(static_cast<double>(k.rotate_passes));
+  out.push_back(static_cast<double>(k.norm_refreshes));
+  out.push_back(static_cast<double>(k.gram_builds));
+  out.push_back(static_cast<double>(k.accum_rotations));
+  out.push_back(static_cast<double>(k.blocked_applies));
+}
+
+KernelStats unpack_kernels(const double* p) {
+  KernelStats k;
+  k.pairs = static_cast<std::size_t>(p[0]);
+  k.dot_passes = static_cast<std::size_t>(p[1]);
+  k.gram_passes = static_cast<std::size_t>(p[2]);
+  k.rotate_passes = static_cast<std::size_t>(p[3]);
+  k.norm_refreshes = static_cast<std::size_t>(p[4]);
+  k.gram_builds = static_cast<std::size_t>(p[5]);
+  k.accum_rotations = static_cast<std::size_t>(p[6]);
+  k.blocked_applies = static_cast<std::size_t>(p[7]);
+  return k;
+}
+
+/// Checkpoint blob: [sweep, rot, swap, layout(n), kernels, watchdog, stall,
+/// slot0, slot1].
+std::vector<double> pack_checkpoint(const RankCheckpoint& cp) {
+  std::vector<double> out;
+  out.reserve(3 + cp.layout.size() + kKernelsPacked + ConvergenceWatchdog::kPacked +
+              StallDetector::kPacked + 2 * (4 + cp.slot[0].h.size() + cp.slot[0].v.size()));
+  out.push_back(static_cast<double>(cp.sweep));
+  out.push_back(static_cast<double>(cp.rot));
+  out.push_back(static_cast<double>(cp.swap));
+  for (const int l : cp.layout) out.push_back(static_cast<double>(l));
+  pack_kernels(cp.kernels, out);
+  cp.watchdog.pack(out);
+  cp.stall.pack(out);
+  pack_slot(cp.slot[0], out);
+  pack_slot(cp.slot[1], out);
+  return out;
+}
+
+RankCheckpoint unpack_checkpoint(const std::vector<double>& blob, int n) {
+  RankCheckpoint cp;
+  const double* p = blob.data();
+  cp.sweep = static_cast<int>(p[0]);
+  cp.rot = static_cast<std::size_t>(p[1]);
+  cp.swap = static_cast<std::size_t>(p[2]);
+  p += 3;
+  cp.layout.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) cp.layout[static_cast<std::size_t>(i)] = static_cast<int>(p[i]);
+  p += n;
+  cp.kernels = unpack_kernels(p);
+  p += kKernelsPacked;
+  cp.watchdog = ConvergenceWatchdog::unpack(p);
+  p += ConvergenceWatchdog::kPacked;
+  cp.stall = StallDetector::unpack(p);
+  p += StallDetector::kPacked;
+  p += unpack_slot(p, &cp.slot[0]);
+  unpack_slot(p, &cp.slot[1]);
+  return cp;
+}
+
+/// One rank's contribution to the final result, published after its last
+/// sweep: [sweep, converged, rot, swap, kernels, stall, slot0, slot1].
+struct RankResult {
+  int sweep = 0;
+  bool converged = false;
+  std::size_t rot = 0;
+  std::size_t swap = 0;
+  KernelStats kernels;
+  StallDetector stall;
+  SlotState slot[2];
+};
+
+std::vector<double> pack_result(const RankResult& r) {
+  std::vector<double> out;
+  out.push_back(static_cast<double>(r.sweep));
+  out.push_back(r.converged ? 1.0 : 0.0);
+  out.push_back(static_cast<double>(r.rot));
+  out.push_back(static_cast<double>(r.swap));
+  pack_kernels(r.kernels, out);
+  r.stall.pack(out);
+  pack_slot(r.slot[0], out);
+  pack_slot(r.slot[1], out);
+  return out;
+}
+
+RankResult unpack_result(const std::vector<double>& blob) {
+  RankResult r;
+  const double* p = blob.data();
+  r.sweep = static_cast<int>(p[0]);
+  r.converged = p[1] != 0.0;
+  r.rot = static_cast<std::size_t>(p[2]);
+  r.swap = static_cast<std::size_t>(p[3]);
+  p += 4;
+  r.kernels = unpack_kernels(p);
+  p += kKernelsPacked;
+  r.stall = StallDetector::unpack(p);
+  p += StallDetector::kPacked;
+  p += unpack_slot(p, &r.slot[0]);
+  unpack_slot(p, &r.slot[1]);
+  return r;
+}
+
 }  // namespace
 
 SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOptions& options,
@@ -75,35 +218,27 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
 
   mp::World world(ranks);
   if (chaos) {
+    if (transport->backend == mp::Backend::kSocket)
+      world.set_backend(mp::Backend::kSocket, transport->socket);
     if (transport->reliable.enabled) world.set_reliable(transport->reliable);
     if (transport->faults.enabled) world.set_fault_plan(transport->faults);
   }
   mp::RecoveryCounters& rc = world.recovery_counters();
 
-  // Shared result surfaces; each slot is written by exactly one rank after
-  // the last sweep, so no synchronisation is needed beyond the thread join.
-  std::vector<SlotState> final_slots(static_cast<std::size_t>(n));
-  int final_sweeps = 0;
-  std::size_t total_rotations = 0;
-  std::size_t total_swaps = 0;
-  bool converged = false;
-  StallDetector final_stall(options.stall_window);
-  std::mutex totals_mu;
-  // Per-rank kernel counters: checkpointable (a shared set could not be
-  // rolled back to a boundary while other ranks race ahead); the final
-  // kernel_stats is their sum, identical to the shared-counter total.
-  std::vector<KernelCounters> rank_counters(static_cast<std::size_t>(ranks));
-
-  // Checkpoint store: ring of the last two boundary snapshots per rank
-  // (ranks drift by at most one boundary — the per-sweep allreduce means no
-  // rank enters sweep k+1 until every rank has arrived at the end of sweep
-  // k — so the newest boundary *all* ranks committed is always in the ring).
-  std::vector<std::vector<RankCheckpoint>> checkpoints(static_cast<std::size_t>(ranks));
+  // All cross-run state — checkpoints, per-rank results, per-rank kernel
+  // counters — lives on the world's durable blob board (see the key helpers
+  // above): it is the only rank-written state that survives a rank process
+  // dying, and the in-process backend uses the identical serialisation, so
+  // both backends run one code path.
   int restore_sweep = -1;  // < 0: fresh start from the input matrix
 
   const auto program = [&](mp::Context& ctx) {
     const int me = ctx.rank();
-    KernelCounters& counters = rank_counters[static_cast<std::size_t>(me)];
+    // Rank-local kernel counters: zero on a fresh start, restored from the
+    // checkpoint on a replay, folded into the result blob at the end — so a
+    // respawned rank process starts from the same counter state a rolled-back
+    // thread would.
+    KernelCounters counters;
     // Local state: this rank's two slots.
     SlotState slot[2];
     std::vector<int> layout(static_cast<std::size_t>(n));
@@ -134,21 +269,39 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       // control); the layout evolves deterministically between sweeps.
       for (int i = 0; i < n; ++i) layout[static_cast<std::size_t>(i)] = i;
     } else {
-      // Respawn: resume from the newest boundary every rank committed.
-      const auto& ring = checkpoints[static_cast<std::size_t>(me)];
-      const RankCheckpoint* cp = nullptr;
-      for (const RankCheckpoint& c : ring)
-        if (c.sweep == restore_sweep) cp = &c;
-      TREESVD_ASSERT(cp != nullptr);
-      slot[0] = cp->slot[0];
-      slot[1] = cp->slot[1];
-      layout = cp->layout;
-      sweep = cp->sweep;
-      my_rot = cp->rot;
-      my_swap = cp->swap;
-      counters.store(cp->kernels);
-      watchdog = cp->watchdog;
-      stall = cp->stall;
+      // Respawn: resume from the newest boundary every rank committed. The
+      // board is readable here on both backends — shared memory in-process,
+      // the forked copy of the launcher's board in a rank process.
+      RankCheckpoint cp;
+      bool found = false;
+      for (int sl = 0; sl < 2 && !found; ++sl) {
+        const std::uint64_t key = checkpoint_key(me, sl);
+        if (!world.has_published(key)) continue;
+        RankCheckpoint cand = unpack_checkpoint(world.published(key), n);
+        if (cand.sweep == restore_sweep) {
+          cp = std::move(cand);
+          found = true;
+        }
+      }
+      TREESVD_ASSERT(found);
+      slot[0] = std::move(cp.slot[0]);
+      slot[1] = std::move(cp.slot[1]);
+      layout = cp.layout;
+      sweep = cp.sweep;
+      my_rot = cp.rot;
+      my_swap = cp.swap;
+      counters.store(cp.kernels);
+      watchdog = cp.watchdog;
+      stall = cp.stall;
+    }
+    // Newest boundary already on this rank's board ring: a rank that rolled
+    // back past boundaries it had committed skips re-publishing them — the
+    // deterministic replay would recreate the same bytes.
+    int ring_newest = -1;
+    for (int sl = 0; sl < 2; ++sl) {
+      const std::uint64_t key = checkpoint_key(me, sl);
+      if (world.has_published(key))
+        ring_newest = std::max(ring_newest, static_cast<int>(world.published(key)[0]));
     }
 
     bool done = false;
@@ -158,11 +311,7 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       // that already holds this boundary (rolled back past it) skips the
       // push — the deterministic replay would recreate the same bytes.
       if (checkpointing && sweep % recovery.checkpoint_sweeps == 0) {
-        auto& ring = checkpoints[static_cast<std::size_t>(me)];
-        if (ring.empty() || ring.back().sweep < sweep) {
-          // Each rank commits only into its own ring slot; the rollback scan
-          // below runs after World::run joined, so the join edge orders it.
-          TREESVD_HB_WRITE(checkpoints.data(), static_cast<std::size_t>(me), "spmd checkpoints");
+        if (ring_newest < sweep) {
           RankCheckpoint cp;
           cp.sweep = sweep;
           cp.slot[0] = slot[0];
@@ -173,8 +322,12 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
           cp.kernels = counters.snapshot();
           cp.watchdog = watchdog;
           cp.stall = stall;
-          ring.push_back(std::move(cp));
-          if (ring.size() > 2) ring.erase(ring.begin());
+          // The two board slots per rank form the ring: the boundary index
+          // alternates between them, overwriting the snapshot that is two
+          // boundaries old.
+          const int slot_idx = (sweep / recovery.checkpoint_sweeps) % 2;
+          ctx.publish(checkpoint_key(me, slot_idx), pack_checkpoint(cp));
+          ring_newest = sweep;
           if (me == 0) rc.add_checkpoint();
         }
       }
@@ -311,16 +464,19 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
       }
     }
 
-    // Publish: each rank owns its two slots of the final state.
-    for (int k = 0; k < 2; ++k) final_slots[static_cast<std::size_t>(2 * me + k)] = std::move(slot[k]);
-    {
-      std::lock_guard<std::mutex> lock(totals_mu);
-      total_rotations += my_rot;
-      total_swaps += my_swap;
-      final_sweeps = sweep;
-      converged = done;
-      if (me == 0) final_stall = stall;
-    }
+    // Publish: each rank posts its two slots of the final state (and its
+    // share of the totals) to the durable board — the only channel that
+    // survives the rank when it is a process.
+    RankResult res;
+    res.sweep = sweep;
+    res.converged = done;
+    res.rot = my_rot;
+    res.swap = my_swap;
+    res.kernels = counters.snapshot();
+    res.stall = stall;
+    res.slot[0] = std::move(slot[0]);
+    res.slot[1] = std::move(slot[1]);
+    ctx.publish(result_key(me), pack_result(res));
   };
 
   // Recovery loop: a killed rank is respawned by rolling the whole world
@@ -335,11 +491,17 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
     } catch (const mp::RankKilledError&) {
       if (!checkpointing) throw;
       int newest_common = -1;
-      for (std::size_t rr = 0; rr < checkpoints.size(); ++rr) {
-        TREESVD_HB_READ(checkpoints.data(), rr, "spmd checkpoints");
-        const auto& ring = checkpoints[rr];
-        TREESVD_ASSERT(!ring.empty());
-        const int newest = ring.back().sweep;
+      for (int rr = 0; rr < ranks; ++rr) {
+        // Every rank publishes its sweep-0 boundary before its first
+        // transport op, and a process's pre-kill publishes reach the board
+        // in stream order, so the board always has a boundary per rank.
+        int newest = -1;
+        for (int sl = 0; sl < 2; ++sl) {
+          const std::uint64_t key = checkpoint_key(rr, sl);
+          if (world.has_published(key))
+            newest = std::max(newest, static_cast<int>(world.published(key)[0]));
+        }
+        TREESVD_ASSERT(newest >= 0);
         newest_common = newest_common < 0 ? newest : std::min(newest_common, newest);
       }
       if (rc.snapshot().rollbacks >= static_cast<std::size_t>(recovery.max_rollbacks)) throw;
@@ -355,19 +517,29 @@ SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering, const JacobiOpt
     stats->recovery = world.recovery_stats();
   }
 
-  // Assemble the result by label, exactly like the other engines.
+  // Assemble the result by label from the published rank blobs, exactly like
+  // the other engines. Replicated control (sweeps/converged/stall) is read
+  // from rank 0; the additive totals are summed in rank order.
+  std::vector<RankResult> results;
+  results.reserve(static_cast<std::size_t>(ranks));
+  for (int rr = 0; rr < ranks; ++rr) results.push_back(unpack_result(world.published(result_key(rr))));
+
   SvdResult r;
-  r.sweeps = final_sweeps;
-  r.converged = converged;
-  r.rotations = total_rotations;
-  r.swaps = total_swaps;
+  r.sweeps = results[0].sweep;
+  r.converged = results[0].converged;
+  const StallDetector final_stall = results[0].stall;
   KernelStats kernels;
-  for (const KernelCounters& c : rank_counters) kernels += c.snapshot();
+  for (const RankResult& res : results) {
+    r.rotations += res.rot;
+    r.swaps += res.swap;
+    kernels += res.kernels;
+  }
   kernels.isa_tier = static_cast<int>(resolved_isa());
   r.kernel_stats = kernels;
 
   std::vector<const SlotState*> by_label(static_cast<std::size_t>(n), nullptr);
-  for (const SlotState& s : final_slots) by_label[static_cast<std::size_t>(s.label)] = &s;
+  for (const RankResult& res : results)
+    for (const SlotState& s : res.slot) by_label[static_cast<std::size_t>(s.label)] = &s;
 
   r.sigma.resize(static_cast<std::size_t>(n0));
   for (int i = 0; i < n0; ++i) r.sigma[static_cast<std::size_t>(i)] = nrm2(by_label[static_cast<std::size_t>(i)]->h);

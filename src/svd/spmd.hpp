@@ -17,7 +17,7 @@
 
 #include "core/ordering.hpp"
 #include "linalg/matrix.hpp"
-#include "mp/fault.hpp"
+#include "mp/message_passing.hpp"
 #include "svd/jacobi.hpp"
 #include "svd/recovery.hpp"
 
@@ -35,10 +35,19 @@ struct SpmdTransport {
   mp::ReliableConfig reliable;  ///< opt-in reliable send/recv layer
   mp::FaultPlan faults;         ///< deterministic fault schedule
   RecoveryOptions recovery;     ///< checkpoint cadence, rollback budget, watchdog
+  /// Transport backend: kInproc runs ranks as threads (default); kSocket
+  /// runs every rank as its own OS process over UNIX-domain sockets, with
+  /// `socket` supplying the wall-clock deadlines and heartbeat knobs. The
+  /// engine publishes checkpoints and results to the world's durable blob
+  /// board either way, so σ/U/V and every digest are bit-identical across
+  /// backends (mp_socket_test and tools/treesvd_launch gate this).
+  mp::Backend backend = mp::Backend::kInproc;
+  mp::SocketConfig socket;
 };
 
-/// Runs the rank-per-leaf SPMD Jacobi program on n/2 concurrent threads
-/// (after padding n to a width the ordering supports). Results are
+/// Runs the rank-per-leaf SPMD Jacobi program on n/2 concurrent ranks —
+/// threads by default, one OS process each under SpmdTransport::backend ==
+/// kSocket (after padding n to a width the ordering supports). Results are
 /// bit-identical to one_sided_jacobi with the same options — also under a
 /// surviving fault plan when `transport` enables the reliable layer.
 SvdResult spmd_jacobi(const Matrix& a, const Ordering& ordering,

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mp/frame.hpp"
 #include "mp/message_passing.hpp"
 #include "util/rng.hpp"
 
@@ -337,6 +338,168 @@ TEST(MpStressFuzzed, FaultPlanUnaffectedByFuzzSalt) {
 }
 
 #endif  // TREESVD_ANALYSIS
+
+// ---------------------------------------------------------------------------
+// Wire-frame decode fuzzing (socket backend). decode_wire_frame is the only
+// code that parses bytes off a real socket, so it must classify *every*
+// byte-stream correctly without ever reading out of bounds: truncations are
+// kNeedMore, a corrupted payload is kBadPayload (skippable, NACKable), and
+// anything that would desynchronise the stream — bad magic, bad header
+// checksum, oversized length, unknown kind — is kBadFrame. Run these under
+// ASan and the no-OOB claim is machine-checked.
+
+std::vector<std::uint8_t> encode_one(const mp::WireFrame& f) {
+  std::vector<std::uint8_t> bytes;
+  mp::encode_wire_frame(f, bytes);
+  return bytes;
+}
+
+mp::WireFrame sample_frame() {
+  mp::WireFrame f;
+  f.kind = mp::WireKind::kData;
+  f.tag = 77;
+  f.seq = 3;
+  f.aux = 0;
+  f.payload = {1.0, -2.5, 3.25, 1e-300};
+  return f;
+}
+
+TEST(MpWireFuzz, CleanFrameRoundTrips) {
+  const auto bytes = encode_one(sample_frame());
+  mp::WireFrame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed),
+            mp::WireDecode::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(out.kind, mp::WireKind::kData);
+  EXPECT_EQ(out.tag, 77u);
+  EXPECT_EQ(out.seq, 3u);
+  EXPECT_EQ(out.payload, sample_frame().payload);
+}
+
+TEST(MpWireFuzz, EveryTruncationNeedsMore) {
+  // A prefix of a valid frame must never decode, error, or consume bytes —
+  // partial reads are the socket's normal case, not a fault.
+  const auto bytes = encode_one(sample_frame());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    mp::WireFrame out;
+    std::size_t consumed = 99;
+    EXPECT_EQ(mp::decode_wire_frame(bytes.data(), len, 1 << 20, &out, &consumed),
+              mp::WireDecode::kNeedMore)
+        << "at truncation " << len;
+    EXPECT_EQ(consumed, 0u) << "at truncation " << len;
+  }
+}
+
+TEST(MpWireFuzz, HeaderCorruptionIsBadFrame) {
+  // Any flipped bit in the protected header region must be caught by the
+  // header checksum (or the magic/kind checks) before the length is trusted.
+  const auto clean = encode_one(sample_frame());
+  for (std::size_t byte = 0; byte < 40; ++byte) {
+    auto bytes = clean;
+    bytes[byte] ^= 0x40;
+    mp::WireFrame out;
+    std::size_t consumed = 99;
+    EXPECT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed),
+              mp::WireDecode::kBadFrame)
+        << "header byte " << byte;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(MpWireFuzz, PayloadCorruptionIsSkippable) {
+  // Payload damage leaves the header trustworthy: the decoder reports
+  // kBadPayload with the exact frame size so the caller can skip it and
+  // NACK, keeping the stream synchronised.
+  const auto clean = encode_one(sample_frame());
+  for (std::size_t k = 0; k < sample_frame().payload.size(); ++k) {
+    auto bytes = clean;
+    bytes[mp::kWireHeaderBytes + k * sizeof(double)] ^= 0x01;
+    mp::WireFrame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed),
+              mp::WireDecode::kBadPayload)
+        << "payload double " << k;
+    EXPECT_EQ(consumed, clean.size()) << "payload double " << k;
+    EXPECT_EQ(out.tag, 77u);  // identity fields survive for the NACK
+    EXPECT_EQ(out.seq, 3u);
+  }
+  // The injected-corruption encoder produces exactly this class.
+  std::vector<std::uint8_t> bytes;
+  mp::encode_corrupted_wire_frame(sample_frame(), {1.0, -2.5, 99.0, 1e-300}, bytes);
+  mp::WireFrame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed),
+            mp::WireDecode::kBadPayload);
+  EXPECT_EQ(consumed, bytes.size());
+}
+
+TEST(MpWireFuzz, OversizedLengthIsRejectedBeforeAllocation) {
+  // A frame whose (checksum-valid) payload count exceeds the receiver's
+  // bound is a desync, not an allocation: the cap is enforced after the
+  // header proves intact but before any payload is touched.
+  mp::WireFrame f = sample_frame();
+  const auto bytes = encode_one(f);
+  mp::WireFrame out;
+  std::size_t consumed = 99;
+  EXPECT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), f.payload.size() - 1, &out,
+                                  &consumed),
+            mp::WireDecode::kBadFrame);
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(MpWireFuzz, SeededGarbageNeverDecodesAndNeverReadsOob) {
+  // 4096 random byte strings (lengths 0..255): none can carry a valid
+  // header checksum, so every verdict must be kNeedMore (too short to rule
+  // out) or kBadFrame — and ASan guards the no-OOB half of the claim. The
+  // buffers are heap-allocated at exact length so any overread is poisoned.
+  Rng rng(0xF0CCED);
+  for (int it = 0; it < 4096; ++it) {
+    const std::size_t len = static_cast<std::size_t>(rng.below(256));
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    mp::WireFrame out;
+    std::size_t consumed = 0;
+    const auto verdict =
+        mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed);
+    EXPECT_TRUE(verdict == mp::WireDecode::kNeedMore || verdict == mp::WireDecode::kBadFrame);
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(MpWireFuzz, GarbageAfterValidFrameDoesNotBleedBack) {
+  // Decoding consumes exactly one frame; trailing garbage is the next
+  // iteration's problem and must not affect this frame's verdict.
+  auto bytes = encode_one(sample_frame());
+  const std::size_t frame_len = bytes.size();
+  for (int junk = 0; junk < 64; ++junk) bytes.push_back(static_cast<std::uint8_t>(junk * 37));
+  mp::WireFrame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed),
+            mp::WireDecode::kOk);
+  EXPECT_EQ(consumed, frame_len);
+  EXPECT_EQ(out.payload, sample_frame().payload);
+}
+
+TEST(MpWireFuzz, PackStringRoundTripsThroughPayload) {
+  // Error messages ride wire-frame payloads; the packing must be exact for
+  // any content, including embedded NULs and non-ASCII bytes.
+  const std::string cases[] = {"", "x", "mp[socket]: src=0 dst=1 tag=9 seq=4",
+                               std::string("nul\0byte", 8), "\xc3\xa9\xf0\x9f\x9a\x80"};
+  for (const std::string& s : cases) {
+    EXPECT_EQ(mp::unpack_string(mp::pack_string(s)), s);
+    mp::WireFrame f;
+    f.kind = mp::WireKind::kError;
+    f.aux = 3;
+    f.payload = mp::pack_string(s);
+    const auto bytes = encode_one(f);
+    mp::WireFrame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed),
+              mp::WireDecode::kOk);
+    EXPECT_EQ(mp::unpack_string(out.payload), s);
+  }
+}
 
 }  // namespace
 }  // namespace treesvd

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <tuple>
 
 #include "core/registry.hpp"
@@ -145,6 +146,96 @@ TEST(MessagePassing, SelfTrafficAndRangeChecksThrow) {
         if (ctx.rank() == 0) static_cast<void>(ctx.recv(-1, 1));  // src out of range
       }),
       std::invalid_argument);
+}
+
+// What the thrown misuse message starts with — the guards promise a precise
+// diagnosis, not just "invalid argument".
+void expect_misuse(const std::function<void()>& call, const std::string& needle) {
+  try {
+    call();
+    FAIL() << "expected misuse guard for: " << needle;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(MessagePassing, ResetForReplayOnHealthyWorldThrows) {
+  // A world that never aborted has nothing to rearm; treating it as a
+  // replay target would silently mask a missing failure.
+  mp::World world(2);
+  expect_misuse([&] { world.reset_for_replay(); }, "the world never aborted");
+  world.run([](mp::Context&) {});
+  expect_misuse([&] { world.reset_for_replay(); }, "the world never aborted");
+}
+
+TEST(MessagePassing, ResetForReplayTwiceThrows) {
+  mp::World world(2);
+  EXPECT_THROW(world.run([](mp::Context& ctx) {
+                 if (ctx.rank() == 0) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  ASSERT_TRUE(world.aborted());
+  world.reset_for_replay();  // first reset rearms...
+  EXPECT_FALSE(world.aborted());
+  // ...and the second finds a healthy world: same guard as never-aborted.
+  expect_misuse([&] { world.reset_for_replay(); }, "the world never aborted");
+}
+
+TEST(MessagePassing, ResetForReplayMidRunThrows) {
+  // Calling maintenance entry points from inside a live program is the
+  // classic footgun; the guard names the fix (join the run first).
+  mp::World world(2);
+  world.run([&world](mp::Context& ctx) {
+    if (ctx.rank() == 0) {
+      expect_misuse([&] { world.reset_for_replay(); }, "a run is in progress");
+      expect_misuse([&] { world.purge_leftovers(); }, "a run is in progress");
+    }
+  });
+}
+
+TEST(MessagePassing, RunOnAbortedWorldThrows) {
+  mp::World world(2);
+  EXPECT_THROW(world.run([](mp::Context& ctx) {
+                 if (ctx.rank() == 0) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  ASSERT_TRUE(world.aborted());
+  expect_misuse([&] { world.run([](mp::Context&) {}); },
+                "reset_for_replay() must rearm an aborted world");
+}
+
+TEST(MessagePassing, PurgeLeftoversMisusePaths) {
+  // Without the reliable transport there are no leftovers to purge.
+  {
+    mp::World world(2);
+    world.run([](mp::Context&) {});
+    expect_misuse([&] { world.purge_leftovers(); }, "only meaningful under the reliable");
+  }
+  mp::World world(2);
+  mp::ReliableConfig rc;
+  rc.enabled = true;
+  world.set_reliable(rc);
+  // Before any run completed there is nothing to purge either.
+  expect_misuse([&] { world.purge_leftovers(); }, "no run completed");
+  world.run([](mp::Context&) {});
+  world.purge_leftovers();  // legitimate: one completed run, one purge
+  // Purging twice without a new run in between is a sequencing bug.
+  expect_misuse([&] { world.purge_leftovers(); }, "no run completed");
+}
+
+TEST(MessagePassing, PurgeLeftoversOnAbortedWorldThrows) {
+  // An aborted world is reset_for_replay's territory; purging it would
+  // destroy the evidence (and the replay source) in one call.
+  mp::World world(2);
+  mp::ReliableConfig rc;
+  rc.enabled = true;
+  world.set_reliable(rc);
+  EXPECT_THROW(world.run([](mp::Context& ctx) {
+                 if (ctx.rank() == 0) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  ASSERT_TRUE(world.aborted());
+  expect_misuse([&] { world.purge_leftovers(); }, "the world is aborted");
 }
 
 using Param = std::tuple<std::string, int>;

@@ -12,11 +12,18 @@
 // least one diverged (or died), 2 means usage error. CI archives the JSON as
 // an artifact so fault/recovery counters are diffable across commits.
 //
+// --backend selects the transport under test: "inproc" (default) replays the
+// faults against the shared-memory mailboxes, "socket" runs every rank as its
+// own OS process over UNIX-domain sockets, so the same plan becomes physical —
+// dropped frames are closed connections, delays are real stalls, and the rank
+// kill is a SIGKILL of a live process followed by respawn + checkpoint
+// rollback. The bit-identity contract is the same either way.
+//
 // Usage:
 //   treesvd_chaos [--seeds=42,43,44] [--n=8] [--rows=16] [--ordering=new-ring]
-//                 [--drop=0.12] [--dup=0.08] [--corrupt=0.06] [--delay=0.04]
-//                 [--kill-rank=2] [--kill-at-op=31] [--max-retries=12]
-//                 [--json=PATH]
+//                 [--backend=inproc|socket] [--drop=0.12] [--dup=0.08]
+//                 [--corrupt=0.06] [--delay=0.04] [--kill-rank=2]
+//                 [--kill-at-op=31] [--max-retries=12] [--json=PATH]
 
 #include <cstdint>
 #include <fstream>
@@ -106,10 +113,18 @@ int main(int argc, const char* const* argv) {
   if (cli.has("help")) {
     std::cout
         << "usage: treesvd_chaos [--seeds=42,43,44] [--n=8] [--rows=16]\n"
-           "                     [--ordering=new-ring] [--drop=0.12] [--dup=0.08]\n"
-           "                     [--corrupt=0.06] [--delay=0.04] [--kill-rank=2]\n"
-           "                     [--kill-at-op=31] [--max-retries=12] [--json=PATH]\n";
+           "                     [--ordering=new-ring] [--backend=inproc|socket]\n"
+           "                     [--drop=0.12] [--dup=0.08] [--corrupt=0.06]\n"
+           "                     [--delay=0.04] [--kill-rank=2] [--kill-at-op=31]\n"
+           "                     [--max-retries=12] [--json=PATH]\n";
     return 0;
+  }
+
+  const std::string backend = cli.get("backend", "inproc");
+  if (backend != "inproc" && backend != "socket") {
+    std::cerr << "treesvd_chaos: --backend must be inproc or socket, got \"" << backend
+              << "\"\n";
+    return 2;
   }
 
   const int n = static_cast<int>(cli.get_int("n", 8));
@@ -151,6 +166,7 @@ int main(int argc, const char* const* argv) {
   transport.faults.kill_at_op = static_cast<std::uint64_t>(cli.get_int("kill-at-op", 31));
   transport.recovery.checkpoint_sweeps = 1;
   transport.recovery.max_rollbacks = 8;
+  if (backend == "socket") transport.backend = mp::Backend::kSocket;
 
   std::vector<SeedReport> reports;
   bool pass = true;
@@ -177,6 +193,13 @@ int main(int argc, const char* const* argv) {
   os << "{\n  \"tool\": \"treesvd_chaos\",\n  \"version\": 1,\n";
   os << "  \"n\": " << n << ",\n  \"rows\": " << rows << ",\n";
   os << "  \"ordering\": \"" << ordering_name << "\",\n";
+  os << "  \"backend\": {\"kind\": \"" << backend << "\"";
+  if (backend == "socket")
+    os << ", \"recv_deadline_ms\": " << transport.socket.recv_deadline_ms
+       << ", \"heartbeat_interval_ms\": " << transport.socket.heartbeat_interval_ms
+       << ", \"heartbeat_timeout_ms\": " << transport.socket.heartbeat_timeout_ms
+       << ", \"delay_stall_ms\": " << transport.socket.delay_stall_ms;
+  os << "},\n";
   os << "  \"plan\": {\"drop\": " << transport.faults.drop_prob
      << ", \"dup\": " << transport.faults.duplicate_prob
      << ", \"corrupt\": " << transport.faults.corrupt_prob
