@@ -220,6 +220,12 @@ void BatchedSvd::solve_into(std::span<const Matrix* const> inputs,
   }
 }
 
+void BatchedSvd::solve_single_into(const Matrix& a, SvdResult* result) {
+  const Matrix* in = &a;
+  SvdResult* out = result;
+  solve_into({&in, 1}, {&out, 1}, nullptr);
+}
+
 void BatchedSvd::pack_shard(Shard& sh, std::span<const Matrix* const> inputs) {
   const std::size_t w = options_.lane_width;
   const std::size_t m = rows_;

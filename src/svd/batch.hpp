@@ -109,6 +109,13 @@ class BatchedSvd {
   void solve_into(std::span<const Matrix* const> inputs, std::span<SvdResult* const> results,
                   ThreadPool* pool = nullptr);
 
+  /// One-lane convenience over solve_into: a batch of exactly one problem.
+  /// By the bitwise-sequential contract this equals
+  /// one_sided_jacobi(a, ordering, options.jacobi) bit-for-bit — the serving
+  /// layer's failure-isolation path re-runs a suspect batch lane by lane
+  /// through this entry so healthy batchmates keep their exact payloads.
+  void solve_single_into(const Matrix& a, SvdResult* result);
+
  private:
   struct Shard;
 

@@ -138,6 +138,13 @@ class StallDetector {
   bool has_prev_ = false;
 };
 
+/// Index of the first column containing a NaN or Inf entry, -1 when the
+/// whole matrix is finite. The throw-free probe behind
+/// require_finite_columns, also used by the serving layer to classify a
+/// poison request during failure isolation without paying an exception per
+/// healthy lane.
+int first_nonfinite_column(const Matrix& a) noexcept;
+
 /// Fast-fail input guard: throws std::invalid_argument naming the first
 /// column that contains a NaN or Inf entry. Every SVD engine calls this up
 /// front, so poisoned inputs fail precisely instead of iterating to

@@ -1,5 +1,7 @@
 #pragma once
-// Many-SVD serving front-end over the batched engine (svd/batch.hpp).
+// Many-SVD serving front-end over the batched engine (svd/batch.hpp), with a
+// fault story: deadlines, load shedding, failure isolation, and shard
+// supervision.
 //
 // Shape: clients submit independent same-shape problems; `shards` worker
 // threads each own one BatchedSvd instance (satisfying its single-caller
@@ -11,14 +13,36 @@
 // on which requests happened to share its batch — racy arrival order never
 // changes payloads, only latency.
 //
-// Backpressure: queues are bounded rings; submit() blocks while the target
-// shard's queue is full, so a slow server pushes back on producers instead
-// of growing without bound. Arena slabs (the engine shards) are preallocated
-// at start(); the steady state allocates nothing on the serving path.
+// Admission: submit() picks the least-loaded healthy shard (shortest
+// queue + in-flight at admission; quarantined shards are skipped). Under
+// SubmitPolicy::kBlock a full queue blocks the producer (backpressure);
+// kReject bounces immediately; kShedExpired first evicts queued requests
+// whose deadline already passed (completing them as kDeadlineExpired) and
+// retries once. Deadlines are re-checked at batch formation, so an expired
+// request never burns a SIMD lane. Total backlog crossing the high watermark
+// drops ready() until it falls back under the low one.
+//
+// Failure isolation: a batch whose solve throws (poison input, injected
+// fault) is re-run lane by lane through solve_single_into — bitwise equal to
+// the batch path — so only the poison request completes as kFailed (with the
+// captured error in diagnostics.error) and every batchmate keeps its exact
+// payload. A shard thread that dies is detected by the supervisor, which
+// joins it, rebuilds a fresh BatchedSvd, requeues the in-flight requests and
+// restarts the loop; a shard that keeps dying is quarantined (its work moves
+// to surviving shards). Stuck shards (heartbeat flat while work is pending)
+// are detected and counted; routing starves them naturally.
+//
+// Every accepted request reaches exactly one terminal state — a solved
+// payload, kFailed, or kDeadlineExpired — including across stop(), which
+// drains whatever is still queued. The seeded ServeFaultPlan (splitmix64
+// over request id, the mp/fault idiom) makes all of the above testable
+// bit-reproducibly; treesvd_serve --chaos is the gate.
 //
 // Telemetry: per-shard log2-bucket latency histograms (submit -> completion,
-// steady clock) merged on demand, plus submission/completion/batch-fill
-// counters — everything the serve tool dumps as JSON.
+// steady clock) and batch counters, snapshotted under each shard's stats
+// mutex; global relaxed-atomic counters for shed/expired/failed/restart
+// accounting — everything the serve tool dumps as JSON. The steady-state
+// serving path still allocates nothing.
 
 #include <array>
 #include <atomic>
@@ -86,6 +110,30 @@ class BoundedMpscQueue {
     return taken;
   }
 
+  /// Extracts every queued entry matching `pred` into `removed`, preserving
+  /// FIFO order among the survivors. The shed path: a producer evicts
+  /// deadline-expired entries to make room instead of blocking behind them.
+  /// Returns the number removed (space waiters are woken when > 0).
+  template <typename Pred>
+  std::size_t remove_if(Pred pred, std::vector<T>& removed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t kept = 0;
+    const std::size_t n = count_;
+    for (std::size_t k = 0; k < n; ++k) {
+      T& slot = buf_[(head_ + k) % cap_];
+      if (pred(static_cast<const T&>(slot))) {
+        removed.push_back(std::move(slot));
+      } else {
+        if (kept != k) buf_[(head_ + kept) % cap_] = std::move(slot);
+        ++kept;
+      }
+    }
+    count_ = kept;
+    const std::size_t gone = n - kept;
+    if (gone > 0) cv_space_.notify_all();
+    return gone;
+  }
+
   void close() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
@@ -118,7 +166,8 @@ class BoundedMpscQueue {
 
 /// Log2-bucketed latency histogram: bucket k counts samples with
 /// 2^(k-1) <= ns < 2^k (bucket 0 holds ns == 0). Not thread-safe — each
-/// shard owns one; merge() combines them for reporting.
+/// shard owns one behind its stats mutex; merge() combines them for
+/// reporting.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 64;
@@ -143,6 +192,90 @@ class LatencyHistogram {
   std::uint64_t max_ns_ = 0;
 };
 
+/// What submit() does when the chosen shard's queue is full.
+enum class SubmitPolicy {
+  kBlock,        ///< wait for space (producer backpressure; the default)
+  kReject,       ///< fail the submission immediately (caller retries/sheds)
+  kShedExpired,  ///< evict deadline-expired queued requests to make room,
+                 ///< then retry once; reject if still full
+};
+
+/// Per-request admission options.
+struct SubmitOptions {
+  /// Relative deadline in nanoseconds from admission (0 = none). Checked at
+  /// admission (under kShedExpired eviction) and again at batch formation:
+  /// an expired request completes as SvdStatus::kDeadlineExpired without
+  /// burning a SIMD lane.
+  std::uint64_t deadline_ns = 0;
+  SubmitPolicy policy = SubmitPolicy::kBlock;
+};
+
+/// Why a submission did not enter a queue.
+enum class SubmitOutcome {
+  kAccepted,   ///< queued; the request will reach exactly one terminal state
+  kQueueFull,  ///< rejected under kReject/kShedExpired with no space
+  kStopped,    ///< server not started, stopping, or every shard quarantined
+};
+
+/// Seeded, fully deterministic fault schedule for a serving run — the
+/// mp::FaultPlan idiom lifted to requests: every per-request decision is a
+/// pure function of the request id mixed with the plan seed (splitmix64), so
+/// two runs of the same trace inject exactly the same faults regardless of
+/// thread interleaving and every counter replays bit-for-bit.
+///
+/// The request-fault bands partition [0, 1): at most one fault per request.
+/// kPoison and kExpire are *client-side* decisions (the chaos driver builds
+/// a NaN input / submits an unmeetable deadline — the server just reacts);
+/// kThrow and the kill/stall faults are server-side injections.
+struct ServeFaultPlan {
+  bool enabled = false;     ///< master switch; a default plan injects nothing
+  std::uint64_t seed = 1;   ///< mixes into every per-request decision
+
+  double poison_prob = 0.0;  ///< request input carries a NaN (driver-built)
+  double throw_prob = 0.0;   ///< request's solve throws inside the shard
+  double expire_prob = 0.0;  ///< request admitted with an already-expired
+                             ///< deadline (driver-built)
+
+  /// Request whose batch kills its shard thread just before the solve
+  /// (-1 = never). The kill re-fires each time the request is requeued and
+  /// re-popped, up to kill_repeat shard deaths, then the request solves
+  /// normally — so one knob exercises death, restart, requeue and (when
+  /// kill_repeat exceeds the supervisor's quarantine budget) quarantine.
+  long long kill_request = -1;
+  std::size_t kill_repeat = 1;
+
+  /// Shard stalled once at loop entry (-1 = never): it stops heartbeating
+  /// and consuming until the server-wide submission count reaches
+  /// stall_until_submitted (deterministic, load-independent release), with
+  /// stall_micros as a wall-clock safety bound (0 = default bound).
+  int stall_shard = -1;
+  std::uint64_t stall_until_submitted = 0;
+  std::uint64_t stall_micros = 0;
+
+  /// Fault class for one request id (the partition decision).
+  enum class RequestFault { kNone, kPoison, kThrow, kExpire };
+  RequestFault request_fault(std::uint64_t id) const noexcept;
+  bool should_throw(std::uint64_t id) const noexcept {
+    return request_fault(id) == RequestFault::kThrow;
+  }
+};
+
+/// Supervisor knobs: detection cadence and the restart/quarantine budget.
+struct SupervisorOptions {
+  /// Run the supervisor thread. Off, a dead shard's in-flight and queued
+  /// requests are still completed — but only at stop()-time drain.
+  bool enabled = true;
+  /// Health-check cadence.
+  std::uint64_t poll_micros = 500;
+  /// A shard whose heartbeat stays flat this long while it has pending or
+  /// in-flight work is counted stuck (detection only; routing already
+  /// starves it because its load never drains).
+  std::uint64_t stuck_after_micros = 50000;
+  /// Shard deaths tolerated before quarantine: death N <= this budget gets a
+  /// fresh-engine restart; the next death retires the shard for good.
+  std::size_t quarantine_after = 2;
+};
+
 struct ServeOptions {
   std::size_t rows = 0;
   std::size_t cols = 0;
@@ -159,15 +292,53 @@ struct ServeOptions {
   /// gemm_pool() gate under concurrent shards run here instead of degrading
   /// to serial. 0 disables the registration.
   std::size_t gemm_fallback_threads = 1;
+  /// Readiness watermarks on total backlog (accepted - completed): crossing
+  /// high drops ready(); falling to low restores it. 0 = auto (high:
+  /// shards * queue_capacity, low: high / 2).
+  std::size_t high_watermark = 0;
+  std::size_t low_watermark = 0;
+  SupervisorOptions supervisor;
+  /// Deterministic chaos schedule (off by default; treesvd_serve --chaos).
+  ServeFaultPlan faults;
 };
 
-/// Aggregated server counters (a consistent snapshot under the stats lock).
+/// Per-shard health/telemetry snapshot (ServeStats::shards).
+struct ShardSnapshot {
+  std::size_t queued = 0;        ///< submission queue depth
+  std::size_t inflight = 0;      ///< requests popped but not yet terminal
+  std::uint64_t heartbeat = 0;   ///< loop-progress counter
+  std::uint64_t batches = 0;     ///< engine solve calls issued by this shard
+  std::uint64_t lanes = 0;       ///< lanes solved by this shard
+  std::uint64_t deaths = 0;      ///< times this shard's thread died
+  bool dead = false;             ///< thread exited, restart pending
+  bool quarantined = false;      ///< retired; receives no new work
+};
+
+/// Aggregated server counters (a consistent snapshot under the per-shard
+/// stats locks). Terminal accounting: completed == solved + expired + failed,
+/// and latency.count() == completed.
 struct ServeStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;       ///< engine solve calls issued
-  std::uint64_t batched_lanes = 0; ///< sum of batch fills (completed == this)
-  LatencyHistogram latency;        ///< submit -> result-written, per problem
+  std::uint64_t batched_lanes = 0; ///< sum of batch fills (== solved)
+  LatencyHistogram latency;        ///< submit -> terminal, per problem
+
+  std::uint64_t solved = 0;    ///< completed with a real factorization
+  std::uint64_t expired = 0;   ///< completed kDeadlineExpired
+  std::uint64_t failed = 0;    ///< completed kFailed (poison/injected)
+  std::uint64_t shed = 0;      ///< expired requests evicted at admission
+                               ///< (subset of `expired`)
+  std::uint64_t rejected = 0;  ///< submissions bounced kQueueFull
+  std::uint64_t requeued = 0;  ///< in-flight requests moved after a death
+  std::uint64_t kills = 0;         ///< fault-plan shard kills fired
+  std::uint64_t restarts = 0;      ///< dead shards restarted (fresh engine)
+  std::uint64_t quarantines = 0;   ///< shards retired as repeat offenders
+  std::uint64_t stalls_injected = 0;  ///< fault-plan shard stalls fired
+  std::uint64_t stuck_detected = 0;   ///< supervisor stuck-shard detections
+
+  bool ready = false;          ///< backlog below the watermarks and serving
+  std::vector<ShardSnapshot> shards;
 };
 
 /// The serving front-end. Lifecycle: construct -> start() -> submit()s ->
@@ -177,7 +348,8 @@ struct ServeStats {
 /// per-request signalling.
 class SvdServer {
  public:
-  /// The ordering shapes each shard's engine schedule; it is not retained.
+  /// The ordering shapes each shard's engine schedule; its name is retained
+  /// (core/registry.hpp) so the supervisor can rebuild a dead shard's engine.
   SvdServer(const Ordering& ordering, const ServeOptions& options);
   ~SvdServer();
 
@@ -188,17 +360,33 @@ class SvdServer {
 
   void start();
 
-  /// Closes the queues, drains every pending request, joins the shards.
-  /// Idempotent.
+  /// Closes the queues, drains every pending request (each reaches a
+  /// terminal state — nothing is lost), joins the shards. Idempotent.
   void stop();
 
   /// Enqueues one problem (must be rows x cols; checked by the engine at
   /// solve time). *out is written by the owning shard before the request
-  /// counts as completed. Blocks while the target shard's queue is full;
-  /// returns false when the server is stopped.
-  bool submit(const Matrix& a, SvdResult* out);
+  /// counts as completed. The shard is the least-loaded healthy one at
+  /// admission; `opt.policy` decides what a full queue does.
+  SubmitOutcome submit(const Matrix& a, SvdResult* out, const SubmitOptions& opt);
 
-  /// Blocks until completed == submitted (all accepted work finished).
+  /// Backward-compatible blocking submit (no deadline): true iff accepted.
+  bool submit(const Matrix& a, SvdResult* out) {
+    return submit(a, out, SubmitOptions{}) == SubmitOutcome::kAccepted;
+  }
+
+  /// Non-blocking fast path: kReject admission with an optional deadline.
+  bool try_submit(const Matrix& a, SvdResult* out, std::uint64_t deadline_ns = 0) {
+    return submit(a, out, SubmitOptions{deadline_ns, SubmitPolicy::kReject}) ==
+           SubmitOutcome::kAccepted;
+  }
+
+  /// Load-shedding readiness: false while the backlog sits above the
+  /// watermarks (or the server is stopping). Advisory — submissions are
+  /// still admitted by policy.
+  bool ready() const noexcept;
+
+  /// Blocks until completed == submitted (all accepted work terminal).
   void wait_idle();
 
   ServeStats stats() const;
@@ -208,22 +396,63 @@ class SvdServer {
     const Matrix* a = nullptr;
     SvdResult* out = nullptr;
     std::uint64_t enqueue_ns = 0;
+    std::uint64_t deadline_ns = 0;  ///< absolute steady-clock ns; 0 = none
+    std::uint64_t id = 0;
   };
   struct Shard;
 
   void shard_loop(std::size_t idx);
+  void supervisor_loop();
+  void supervise_shard(std::size_t idx);
+  void restart_or_quarantine(std::size_t idx);
+  void solve_batch(Shard& sh);
+  void isolate_batch(Shard& sh);
+  void maybe_stall(Shard& sh, std::size_t idx);
+  bool kill_applies(const Shard& sh);
+  int pick_shard() const noexcept;
+  void shed_expired(Shard& sh, std::uint64_t now);
+  void finish_solo(Shard& sh, const Request& r);
+  void requeue_or_fail(Shard& home, std::vector<Request>& reqs, bool home_alive);
+
+  void complete_solved(Shard& sh, const Request& r, std::uint64_t done_ns,
+                       std::size_t batch_lanes);
+  void complete_expired(Shard& sh, const Request& r, bool via_shed);
+  void complete_failed(Shard& sh, const Request& r, const std::string& why);
+  void bump_completed(std::size_t k);
 
   ServeOptions options_;
+  std::string ordering_name_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
-  std::atomic<std::uint64_t> next_shard_{0};
-  std::atomic<std::uint64_t> submitted_{0};
+  std::thread supervisor_;
   bool started_ = false;
   bool stopped_ = false;
 
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> solved_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> requeued_{0};
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<std::uint64_t> kill_attempts_{0};  ///< kill-budget dispenser
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> stalls_injected_{0};
+  std::atomic<std::uint64_t> stuck_detected_{0};
+  std::atomic<bool> overloaded_{false};
+  std::atomic<bool> stopping_{false};
+  std::size_t high_watermark_ = 0;
+  std::size_t low_watermark_ = 0;
+
   mutable std::mutex idle_mu_;
   std::condition_variable idle_cv_;
-  std::uint64_t completed_total_ = 0;
+
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
 };
 
 }  // namespace treesvd

@@ -13,6 +13,8 @@ const char* to_string(SvdStatus status) noexcept {
     case SvdStatus::kConverged: return "converged";
     case SvdStatus::kMaxSweeps: return "max-sweeps";
     case SvdStatus::kStalled: return "stalled";
+    case SvdStatus::kDeadlineExpired: return "deadline-expired";
+    case SvdStatus::kFailed: return "failed";
   }
   return "unknown";
 }

@@ -16,15 +16,22 @@ namespace treesvd {
 
 struct SvdResult;
 
-/// How an SVD iteration ended.
+/// How an SVD iteration ended. The first three are engine outcomes; the last
+/// two are *serving* outcomes (svd/serve.hpp): a request can be retired
+/// without its solve ever running (deadline) or after its solve threw
+/// (poison input, injected fault). Serving-terminal results carry no factor
+/// payload — sigma/U/V are empty — and diagnostics.error says why.
 enum class SvdStatus {
-  kConverged,  ///< a full sweep passed with no rotation or swap
-  kMaxSweeps,  ///< sweep budget exhausted while activity was still decreasing
-  kStalled,    ///< sweep budget exhausted with activity non-decreasing over
-               ///< the trailing stall window — more sweeps would not help
+  kConverged,        ///< a full sweep passed with no rotation or swap
+  kMaxSweeps,        ///< sweep budget exhausted while activity was still decreasing
+  kStalled,          ///< sweep budget exhausted with activity non-decreasing over
+                     ///< the trailing stall window — more sweeps would not help
+  kDeadlineExpired,  ///< request shed: its deadline passed before a solve ran
+  kFailed,           ///< request's solve threw; diagnostics.error holds the cause
 };
 
-/// Human-readable status name ("converged", "max-sweeps", "stalled").
+/// Human-readable status name ("converged", "max-sweeps", "stalled",
+/// "deadline-expired", "failed").
 const char* to_string(SvdStatus status) noexcept;
 
 /// Input equilibration policy (see svd/equilibrate.hpp). The scaling is a
@@ -68,6 +75,8 @@ struct SvdDiagnostics {
   double scaled_residual = -1.0; ///< ||A - U diag(sigma) V^T||_F / ||A||_F
   double u_defect = -1.0;        ///< max |u_i.u_j - delta_ij| over kept columns
   double v_defect = -1.0;        ///< max |v_i.v_j - delta_ij|
+  std::string error;             ///< failure context for kFailed /
+                                 ///< kDeadlineExpired results (empty otherwise)
 };
 
 /// Fills the heavy diagnostics fields of `result.diagnostics` from the

@@ -7,10 +7,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "mp/frame.hpp"
 #include "mp/message_passing.hpp"
+#include "svd/serve.hpp"
 #include "util/rng.hpp"
 
 #if defined(TREESVD_ANALYSIS) && TREESVD_ANALYSIS
@@ -498,6 +501,111 @@ TEST(MpWireFuzz, PackStringRoundTripsThroughPayload) {
     ASSERT_EQ(mp::decode_wire_frame(bytes.data(), bytes.size(), 1 << 20, &out, &consumed),
               mp::WireDecode::kOk);
     EXPECT_EQ(mp::unpack_string(out.payload), s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serving queue under fuzzed schedules. The serving front-end's
+// BoundedMpscQueue is the other lock/condvar hot spot this binary targets:
+// seeded schedules perturb producer pacing, consumer batch sizes, eviction
+// cadence and the close point, and the invariant is conservation — every
+// accepted item surfaces exactly once (popped or evicted), per-producer FIFO
+// holds among the popped, and pop_batch reports exhaustion only after close.
+// ---------------------------------------------------------------------------
+
+TEST(ServeQueueFuzzed, ProducersEvictorAndCloseConserveItems) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 80;
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{77}, std::uint64_t{2026},
+                                   std::uint64_t{31337}}) {
+    BoundedMpscQueue<int> q(6);
+    std::vector<std::vector<int>> accepted(kProducers);
+    std::atomic<int> popped_count{0};
+    std::atomic<int> producers_done{0};
+    std::atomic<bool> closed_flag{false};
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p, seed] {
+        Rng rng(seed * 1000003ULL + static_cast<std::uint64_t>(p));
+        for (int i = 0; i < kPerProducer; ++i) {
+          const int v = p * 1000 + i;
+          bool ok = false;
+          // Seeded schedule: mix blocking and spinning admission, with
+          // fuzzer-style yields between attempts.
+          if (rng.below(3) == 0) {
+            ok = q.push(v);
+          } else {
+            while (!(ok = q.try_push(v)) && !q.closed()) {
+              if (rng.below(2) == 0) std::this_thread::yield();
+            }
+          }
+          if (!ok) break;  // closed: this and all later pushes are dropped
+          accepted[p].push_back(v);
+          if (rng.below(4) == 0) std::this_thread::yield();
+        }
+        producers_done.fetch_add(1);
+      });
+    }
+
+    // The evictor plays the shed path: remove a seeded value class while
+    // producers and the consumer contend for the same lock.
+    std::vector<int> evicted;
+    std::thread evictor([&, seed] {
+      Rng rng(seed ^ 0xE71C70ULL);
+      const int klass = static_cast<int>(rng.below(7));
+      while (!closed_flag.load()) {
+        q.remove_if([klass](int v) { return v % 13 == klass; }, evicted);
+        for (std::uint64_t k = rng.below(8); k > 0; --k) std::this_thread::yield();
+      }
+    });
+
+    // The closer picks a seeded cut point; one seed closes immediately so the
+    // everything-dropped edge stays covered, and a cut past the total item
+    // count degrades to close-after-producers-finish instead of hanging.
+    std::thread closer([&, seed] {
+      Rng rng(seed + 17);
+      const int cut = seed == 1 ? 0 : static_cast<int>(rng.below(kProducers * kPerProducer));
+      while (popped_count.load() < cut && producers_done.load() < kProducers)
+        std::this_thread::yield();
+      q.close();
+      closed_flag.store(true);
+    });
+
+    Rng consumer_rng(seed ^ 0xC0517ABULL);
+    std::vector<int> popped;
+    std::vector<int> batch;
+    for (;;) {
+      batch.clear();
+      if (q.pop_batch(batch, 1 + consumer_rng.below(7)) == 0) break;
+      popped.insert(popped.end(), batch.begin(), batch.end());
+      popped_count.store(static_cast<int>(popped.size()));
+      if (consumer_rng.below(3) == 0) std::this_thread::yield();
+    }
+    for (auto& t : producers) t.join();
+    closed_flag.store(true);
+    closer.join();
+    evictor.join();
+    for (;;) {  // residue pushed while close raced the last pops
+      batch.clear();
+      if (q.pop_batch(batch, 8) == 0) break;
+      popped.insert(popped.end(), batch.begin(), batch.end());
+    }
+
+    std::multiset<int> in;
+    for (const auto& a : accepted) in.insert(a.begin(), a.end());
+    std::multiset<int> out(popped.begin(), popped.end());
+    out.insert(evicted.begin(), evicted.end());
+    EXPECT_EQ(in.size(), out.size()) << "seed=" << seed;
+    EXPECT_EQ(in, out) << "seed=" << seed << ": conservation violated";
+    for (int p = 0; p < kProducers; ++p) {
+      int last = -1;
+      for (const int v : popped) {
+        if (v / 1000 != p) continue;
+        EXPECT_LT(last, v) << "seed=" << seed << ": producer " << p << " FIFO violated";
+        last = v;
+      }
+    }
   }
 }
 

@@ -10,17 +10,29 @@
 // sequential engine bit-for-bit and the histogram is sane (count == requests,
 // p50 <= p99, nonzero QPS); 1 on any violation; 2 on usage error.
 //
+// --chaos flips the tool into the deterministic serve-chaos gate: three
+// seeded fault legs (mixed poison/throw/expire with shard kills; overload
+// with a stalled shard and deadline shedding; repeat-offender quarantine),
+// each replayed to prove the fault counters are bit-reproducible. The gate
+// fails on any lost request (a submission that never reached a terminal
+// state), any healthy payload that diverges from the sequential solve, or
+// any counter drift between replays — the serving counterpart of the
+// transport chaos gate.
+//
 // Usage:
 //   treesvd_serve [--rows=32] [--cols=16] [--ordering=round-robin]
 //                 [--shards=2] [--lane-width=8] [--queue-cap=64]
 //                 [--requests=512] [--seed=2026] [--verify=32]
 //                 [--scalar] [--json=PATH]
+//   treesvd_serve --chaos [--rows=12] [--cols=8] [--ordering=round-robin]
+//                 [--requests=96] [--seed=2026] [--scalar] [--json=PATH]
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,15 +62,422 @@ std::string histogram_json(const LatencyHistogram& h) {
   return os.str();
 }
 
-int main(int argc, const char* const* argv) {
-  const Cli cli(argc, argv);
-  if (cli.has("help")) {
-    std::cout << "usage: treesvd_serve [--rows=32] [--cols=16] [--ordering=round-robin]\n"
-                 "                     [--shards=2] [--lane-width=8] [--queue-cap=64]\n"
-                 "                     [--requests=512] [--seed=2026] [--verify=32]\n"
-                 "                     [--scalar] [--json=PATH]\n";
-    return 0;
+// ---------------------------------------------------------------------------
+// Chaos gate
+// ---------------------------------------------------------------------------
+
+/// Sentinel planted in every result slot before submission; any terminal
+/// completion overwrites it, so a surviving sentinel is a lost request.
+constexpr int kSentinelSweeps = -12345;
+
+/// The deterministic subset of ServeStats a replay must reproduce
+/// bit-for-bit. (requeued and stuck_detected depend on batch composition and
+/// supervisor poll timing, so they are reported but not replay-gated.)
+struct ChaosCounters {
+  std::uint64_t submitted = 0, completed = 0, solved = 0, expired = 0, shed = 0, failed = 0,
+                rejected = 0, kills = 0, restarts = 0, quarantines = 0, stalls_injected = 0;
+
+  static ChaosCounters from(const ServeStats& s) {
+    return {s.submitted, s.completed, s.solved,    s.expired,     s.shed,           s.failed,
+            s.rejected,  s.kills,     s.restarts, s.quarantines, s.stalls_injected};
   }
+  bool operator==(const ChaosCounters&) const = default;
+};
+
+struct LegReport {
+  std::string name;
+  bool ok = true;
+  std::vector<std::string> errors;
+  ServeStats stats;
+
+  void fail(std::string why) {
+    ok = false;
+    std::cerr << "treesvd_serve[chaos:" << name << "]: " << why << "\n";
+    errors.push_back(std::move(why));
+  }
+  void check(bool cond, const std::string& why) {
+    if (!cond) fail(why);
+  }
+};
+
+struct ChaosConfig {
+  std::size_t rows = 12;
+  std::size_t cols = 8;
+  std::size_t requests = 96;
+  std::uint64_t seed = 2026;
+  bool scalar = false;
+  const Ordering* ordering = nullptr;
+};
+
+void expect_counter(LegReport& leg, const char* what, std::uint64_t got, std::uint64_t want) {
+  if (got != want) {
+    leg.fail(std::string(what) + " = " + std::to_string(got) + ", expected " +
+             std::to_string(want));
+  }
+}
+
+/// Common post-run audit: no submission may be lost (sentinel survived or
+/// accounting mismatch), and every request must sit in exactly the terminal
+/// state its planned fault dictates — healthy ones bitwise equal to the
+/// sequential solve.
+void audit_results(LegReport& leg, const ChaosConfig& cfg, const ServeFaultPlan& plan,
+                   const std::vector<Matrix>& inputs, const std::vector<SvdResult>& results,
+                   const JacobiOptions& jopt) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SvdResult& r = results[i];
+    if (r.sweeps == kSentinelSweeps) {
+      leg.fail("request " + std::to_string(i) + " LOST: never reached a terminal state");
+      continue;
+    }
+    switch (plan.request_fault(static_cast<std::uint64_t>(i))) {
+      case ServeFaultPlan::RequestFault::kPoison:
+        leg.check(r.status == SvdStatus::kFailed && !r.diagnostics.error.empty(),
+                  "poison request " + std::to_string(i) + " not kFailed-with-context (status " +
+                      to_string(r.status) + ")");
+        break;
+      case ServeFaultPlan::RequestFault::kThrow:
+        leg.check(r.status == SvdStatus::kFailed && !r.diagnostics.error.empty(),
+                  "throw request " + std::to_string(i) + " not kFailed-with-context (status " +
+                      to_string(r.status) + ")");
+        break;
+      case ServeFaultPlan::RequestFault::kExpire:
+        leg.check(r.status == SvdStatus::kDeadlineExpired,
+                  "expire request " + std::to_string(i) + " not kDeadlineExpired (status " +
+                      to_string(r.status) + ")");
+        break;
+      case ServeFaultPlan::RequestFault::kNone: {
+        const SvdResult ref = one_sided_jacobi(inputs[i], *cfg.ordering, jopt);
+        leg.check(result_digest(r) == result_digest(ref),
+                  "healthy request " + std::to_string(i) + " diverged from sequential solve");
+        break;
+      }
+    }
+  }
+  leg.check(leg.stats.completed == results.size(),
+            "completed = " + std::to_string(leg.stats.completed) + ", expected " +
+                std::to_string(results.size()));
+  leg.check(leg.stats.latency.count() == leg.stats.completed,
+            "latency count != completed");
+  leg.check(leg.stats.completed == leg.stats.solved + leg.stats.expired + leg.stats.failed,
+            "terminal accounting broken: completed != solved + expired + failed");
+}
+
+/// Leg A — mixed faults: seeded poison inputs (NaN), injected solver throws,
+/// pre-expired deadlines, plus a double shard kill (restart + requeue, no
+/// quarantine). The healthy majority must come through bitwise clean.
+LegReport run_mixed_leg(const ChaosConfig& cfg) {
+  LegReport leg;
+  leg.name = "mixed";
+
+  ServeOptions opt;
+  opt.rows = cfg.rows;
+  opt.cols = cfg.cols;
+  opt.shards = 2;
+  opt.queue_capacity = 64;
+  opt.batch.lane_width = 4;
+  opt.batch.use_simd = !cfg.scalar;
+  opt.supervisor.poll_micros = 200;
+  opt.supervisor.quarantine_after = 2;
+  ServeFaultPlan& fp = opt.faults;
+  fp.enabled = true;
+  fp.seed = cfg.seed;
+  fp.poison_prob = 0.12;
+  fp.throw_prob = 0.10;
+  fp.expire_prob = 0.10;
+  fp.kill_repeat = 2;
+  // The kill target must be a fault-free request: a poisoned/expired one
+  // would be retired before the kill check ever sees it.
+  fp.kill_request = -1;
+  for (std::uint64_t id = cfg.requests / 3; id < cfg.requests; ++id) {
+    if (fp.request_fault(id) == ServeFaultPlan::RequestFault::kNone) {
+      fp.kill_request = static_cast<long long>(id);
+      break;
+    }
+  }
+
+  Rng rng(cfg.seed);
+  std::vector<Matrix> inputs;
+  inputs.reserve(cfg.requests);
+  std::size_t npoison = 0, nthrow = 0, nexpire = 0;
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    inputs.push_back(random_gaussian(cfg.rows, cfg.cols, rng));
+    switch (fp.request_fault(static_cast<std::uint64_t>(i))) {
+      case ServeFaultPlan::RequestFault::kPoison:
+        inputs.back()(0, 0) = std::numeric_limits<double>::quiet_NaN();
+        ++npoison;
+        break;
+      case ServeFaultPlan::RequestFault::kThrow: ++nthrow; break;
+      case ServeFaultPlan::RequestFault::kExpire: ++nexpire; break;
+      case ServeFaultPlan::RequestFault::kNone: break;
+    }
+  }
+  std::vector<SvdResult> results(cfg.requests);
+  for (auto& r : results) r.sweeps = kSentinelSweeps;
+
+  SvdServer server(*cfg.ordering, opt);
+  server.start();
+  for (std::size_t i = 0; i < cfg.requests; ++i) {
+    SubmitOptions so;
+    if (fp.request_fault(static_cast<std::uint64_t>(i)) == ServeFaultPlan::RequestFault::kExpire)
+      so.deadline_ns = 1;  // unmeetable: expires at batch formation, never solves
+    if (server.submit(inputs[i], &results[i], so) != SubmitOutcome::kAccepted)
+      leg.fail("submission " + std::to_string(i) + " not accepted");
+  }
+  server.wait_idle();
+  server.stop();
+  leg.stats = server.stats();
+
+  audit_results(leg, cfg, fp, inputs, results, opt.batch.jacobi);
+  expect_counter(leg, "expired", leg.stats.expired, nexpire);
+  expect_counter(leg, "failed", leg.stats.failed, npoison + nthrow);
+  expect_counter(leg, "solved", leg.stats.solved, cfg.requests - nexpire - npoison - nthrow);
+  expect_counter(leg, "kills", leg.stats.kills, fp.kill_repeat);
+  expect_counter(leg, "restarts", leg.stats.restarts, fp.kill_repeat);
+  expect_counter(leg, "quarantines", leg.stats.quarantines, 0);
+  return leg;
+}
+
+/// Leg B — overload and shedding: one shard, stalled by the plan until the
+/// whole trace is submitted, a queue full of already-expired requests, and a
+/// healthy wave admitted under kShedExpired that must evict them. Also pins
+/// the watermark readiness transitions, which are deterministic here because
+/// the stall forbids any completion while the backlog builds.
+LegReport run_overload_leg(const ChaosConfig& cfg) {
+  LegReport leg;
+  leg.name = "overload";
+
+  const std::size_t wave = 8;
+  ServeOptions opt;
+  opt.rows = cfg.rows;
+  opt.cols = cfg.cols;
+  opt.shards = 1;
+  opt.queue_capacity = wave;
+  opt.batch.lane_width = 4;
+  opt.batch.use_simd = !cfg.scalar;
+  ServeFaultPlan& fp = opt.faults;
+  fp.enabled = true;
+  fp.seed = cfg.seed;
+  fp.stall_shard = 0;
+  fp.stall_until_submitted = 2 * wave;  // event-released: when the trace is in
+  fp.stall_micros = 30000000;           // 30 s wall-clock safety bound
+
+  Rng rng(cfg.seed + 1);
+  std::vector<Matrix> inputs;
+  inputs.reserve(2 * wave);
+  for (std::size_t i = 0; i < 2 * wave; ++i)
+    inputs.push_back(random_gaussian(cfg.rows, cfg.cols, rng));
+  std::vector<SvdResult> results(2 * wave);
+  for (auto& r : results) r.sweeps = kSentinelSweeps;
+
+  SvdServer server(*cfg.ordering, opt);
+  server.start();
+  leg.check(server.ready(), "server not ready before any load");
+  // Fill the queue with doomed requests (the shard is stalled, so none can
+  // complete and the backlog is exact).
+  for (std::size_t i = 0; i < wave; ++i) {
+    SubmitOptions so;
+    so.deadline_ns = 1;
+    if (server.submit(inputs[i], &results[i], so) != SubmitOutcome::kAccepted)
+      leg.fail("expired-wave submission " + std::to_string(i) + " not accepted");
+  }
+  leg.check(!server.ready(), "backlog at the high watermark did not drop readiness");
+  // The healthy wave sheds its way in.
+  for (std::size_t i = wave; i < 2 * wave; ++i) {
+    SubmitOptions so;
+    so.policy = SubmitPolicy::kShedExpired;
+    if (server.submit(inputs[i], &results[i], so) != SubmitOutcome::kAccepted)
+      leg.fail("healthy-wave submission " + std::to_string(i) + " not accepted");
+  }
+  server.wait_idle();
+  leg.check(server.ready(), "server not ready again after the backlog drained");
+  server.stop();
+  leg.stats = server.stats();
+
+  // The doomed wave must be shed-expired; the healthy wave must be real
+  // solves, bitwise equal to the sequential engine.
+  for (std::size_t i = 0; i < wave; ++i) {
+    const SvdResult& r = results[i];
+    leg.check(r.sweeps != kSentinelSweeps,
+              "doomed request " + std::to_string(i) + " LOST");
+    leg.check(r.status == SvdStatus::kDeadlineExpired,
+              "doomed request " + std::to_string(i) + " not kDeadlineExpired (status " +
+                  to_string(r.status) + ")");
+  }
+  for (std::size_t i = wave; i < 2 * wave; ++i) {
+    const SvdResult& r = results[i];
+    leg.check(r.sweeps != kSentinelSweeps, "healthy request " + std::to_string(i) + " LOST");
+    if (r.sweeps == kSentinelSweeps) continue;
+    const SvdResult ref = one_sided_jacobi(inputs[i], *cfg.ordering, opt.batch.jacobi);
+    leg.check(result_digest(r) == result_digest(ref),
+              "healthy request " + std::to_string(i) + " diverged from sequential solve");
+  }
+  expect_counter(leg, "shed", leg.stats.shed, wave);
+  expect_counter(leg, "expired", leg.stats.expired, wave);
+  expect_counter(leg, "solved", leg.stats.solved, wave);
+  expect_counter(leg, "failed", leg.stats.failed, 0);
+  expect_counter(leg, "rejected", leg.stats.rejected, 0);
+  expect_counter(leg, "completed", leg.stats.completed, 2 * wave);
+  expect_counter(leg, "stalls_injected", leg.stats.stalls_injected, 1);
+  leg.check(leg.stats.latency.count() == leg.stats.completed, "latency count != completed");
+  return leg;
+}
+
+/// Leg C — repeat offender: the kill budget outlives the quarantine budget,
+/// so the victim shard dies, restarts, dies again, gets quarantined, and its
+/// work (kill request included) moves to the survivor — which absorbs one
+/// more planned death, restarts, and finishes the trace. Every request still
+/// completes with a bitwise-clean payload.
+LegReport run_quarantine_leg(const ChaosConfig& cfg) {
+  LegReport leg;
+  leg.name = "quarantine";
+
+  const std::size_t requests = 24;
+  ServeOptions opt;
+  opt.rows = cfg.rows;
+  opt.cols = cfg.cols;
+  opt.shards = 2;
+  opt.queue_capacity = 64;
+  opt.batch.lane_width = 4;
+  opt.batch.use_simd = !cfg.scalar;
+  opt.supervisor.poll_micros = 200;
+  opt.supervisor.quarantine_after = 1;
+  ServeFaultPlan& fp = opt.faults;
+  fp.enabled = true;
+  fp.seed = cfg.seed;
+  fp.kill_request = 2;
+  fp.kill_repeat = 3;
+
+  Rng rng(cfg.seed + 2);
+  std::vector<Matrix> inputs;
+  inputs.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i)
+    inputs.push_back(random_gaussian(cfg.rows, cfg.cols, rng));
+  std::vector<SvdResult> results(requests);
+  for (auto& r : results) r.sweeps = kSentinelSweeps;
+
+  SvdServer server(*cfg.ordering, opt);
+  server.start();
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (!server.submit(inputs[i], &results[i]))
+      leg.fail("submission " + std::to_string(i) + " not accepted");
+  }
+  server.wait_idle();
+  server.stop();
+  leg.stats = server.stats();
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    const SvdResult& r = results[i];
+    leg.check(r.sweeps != kSentinelSweeps, "request " + std::to_string(i) + " LOST");
+    if (r.sweeps == kSentinelSweeps) continue;
+    const SvdResult ref = one_sided_jacobi(inputs[i], *cfg.ordering, opt.batch.jacobi);
+    leg.check(result_digest(r) == result_digest(ref),
+              "request " + std::to_string(i) + " diverged from sequential solve");
+  }
+  expect_counter(leg, "kills", leg.stats.kills, fp.kill_repeat);
+  expect_counter(leg, "restarts", leg.stats.restarts, 2);
+  expect_counter(leg, "quarantines", leg.stats.quarantines, 1);
+  expect_counter(leg, "solved", leg.stats.solved, requests);
+  expect_counter(leg, "failed", leg.stats.failed, 0);
+  expect_counter(leg, "completed", leg.stats.completed, requests);
+  std::uint64_t deaths = 0;
+  for (const ShardSnapshot& sh : leg.stats.shards) deaths += sh.deaths;
+  expect_counter(leg, "total shard deaths", deaths, fp.kill_repeat);
+  leg.check(leg.stats.requeued >= 1, "a killed batch was never requeued");
+  return leg;
+}
+
+std::string counters_json(const ServeStats& s) {
+  std::ostringstream os;
+  os << "{\"submitted\": " << s.submitted << ", \"completed\": " << s.completed
+     << ", \"solved\": " << s.solved << ", \"expired\": " << s.expired
+     << ", \"shed\": " << s.shed << ", \"failed\": " << s.failed
+     << ", \"rejected\": " << s.rejected << ", \"requeued\": " << s.requeued
+     << ", \"kills\": " << s.kills << ", \"restarts\": " << s.restarts
+     << ", \"quarantines\": " << s.quarantines
+     << ", \"stalls_injected\": " << s.stalls_injected
+     << ", \"stuck_detected\": " << s.stuck_detected << "}";
+  return os.str();
+}
+
+int run_chaos(const Cli& cli) {
+  const auto rows = static_cast<std::size_t>(cli.get_int("rows", 12));
+  const auto cols = static_cast<std::size_t>(cli.get_int("cols", 8));
+  const auto requests = static_cast<std::size_t>(cli.get_int("requests", 96));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2026));
+  const std::string oname = cli.get("ordering", "round-robin");
+  if (rows < cols || cols < 2 || requests < 24) {
+    std::cerr << "treesvd_serve --chaos: need rows >= cols >= 2 and requests >= 24\n";
+    return 2;
+  }
+  OrderingPtr ordering;
+  try {
+    ordering = make_ordering(oname);
+  } catch (const std::exception& e) {
+    std::cerr << "treesvd_serve: " << e.what() << "\n";
+    return 2;
+  }
+  ChaosConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.requests = requests;
+  cfg.seed = seed;
+  cfg.scalar = cli.has("scalar");
+  cfg.ordering = ordering.get();
+
+  // Each leg runs twice: the pass/fail audits run on the first, and the
+  // replay must reproduce the deterministic counter subset bit-for-bit.
+  std::vector<LegReport> legs;
+  bool replay_identical = true;
+  const auto run_replayed = [&](auto&& leg_fn) {
+    LegReport first = leg_fn(cfg);
+    LegReport second = leg_fn(cfg);
+    if (!(ChaosCounters::from(first.stats) == ChaosCounters::from(second.stats))) {
+      replay_identical = false;
+      first.fail("replay produced different counters: " + counters_json(first.stats) +
+                 " vs " + counters_json(second.stats));
+    }
+    if (!second.ok) first.ok = false;
+    legs.push_back(std::move(first));
+  };
+  run_replayed(run_mixed_leg);
+  run_replayed(run_overload_leg);
+  run_replayed(run_quarantine_leg);
+
+  bool ok = replay_identical;
+  for (const LegReport& leg : legs) ok = ok && leg.ok;
+
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"treesvd_serve\",\n  \"mode\": \"chaos\",\n  \"rows\": " << rows
+     << ",\n  \"cols\": " << cols << ",\n  \"ordering\": \"" << oname
+     << "\",\n  \"requests\": " << requests << ",\n  \"seed\": " << seed
+     << ",\n  \"simd\": " << (cfg.scalar ? "false" : "true") << ",\n  \"legs\": [";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const LegReport& leg = legs[i];
+    os << (i != 0 ? "," : "") << "\n    {\"name\": \"" << leg.name
+       << "\", \"pass\": " << (leg.ok ? "true" : "false")
+       << ", \"errors\": " << leg.errors.size() << ", \"counters\": " << counters_json(leg.stats)
+       << "}";
+  }
+  os << "\n  ],\n  \"replay_identical\": " << (replay_identical ? "true" : "false")
+     << ",\n  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+
+  const std::string path = cli.get("json", "");
+  if (path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream f(path);
+    f << os.str();
+    if (!f) {
+      std::cerr << "treesvd_serve: cannot write " << path << "\n";
+      return 2;
+    }
+    std::cout << (ok ? "chaos pass" : "chaos FAIL") << ": " << legs.size()
+              << " legs replayed -> " << path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+int run_serve(const Cli& cli) {
   const auto rows = static_cast<std::size_t>(cli.get_int("rows", 32));
   const auto cols = static_cast<std::size_t>(cli.get_int("cols", 16));
   const auto shards = static_cast<std::size_t>(cli.get_int("shards", 2));
@@ -135,6 +554,11 @@ int main(int argc, const char* const* argv) {
               << " latency_count=" << stats.latency.count() << " requests=" << requests << "\n";
     ok = false;
   }
+  if (stats.solved != requests || stats.expired != 0 || stats.failed != 0) {
+    std::cerr << "treesvd_serve: fault-free run saw faults: solved=" << stats.solved
+              << " expired=" << stats.expired << " failed=" << stats.failed << "\n";
+    ok = false;
+  }
   if (stats.latency.p50_ns() > stats.latency.p99_ns()) {
     std::cerr << "treesvd_serve: histogram insane: p50 > p99\n";
     ok = false;
@@ -155,6 +579,7 @@ int main(int argc, const char* const* argv) {
      << (stats.batches != 0
              ? static_cast<double>(stats.batched_lanes) / static_cast<double>(stats.batches)
              : 0.0)
+     << ",\n  \"counters\": " << counters_json(stats)
      << ",\n  \"verified\": " << verified << ",\n  \"pass\": " << (ok ? "true" : "false")
      << ",\n  \"latency\": " << histogram_json(stats.latency) << "\n}\n";
 
@@ -173,6 +598,22 @@ int main(int argc, const char* const* argv) {
               << "ns -> " << path << "\n";
   }
   return ok ? 0 : 1;
+}
+
+int main(int argc, const char* const* argv) {
+  const Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::cout << "usage: treesvd_serve [--rows=32] [--cols=16] [--ordering=round-robin]\n"
+                 "                     [--shards=2] [--lane-width=8] [--queue-cap=64]\n"
+                 "                     [--requests=512] [--seed=2026] [--verify=32]\n"
+                 "                     [--scalar] [--json=PATH]\n"
+                 "       treesvd_serve --chaos [--rows=12] [--cols=8]\n"
+                 "                     [--ordering=round-robin] [--requests=96]\n"
+                 "                     [--seed=2026] [--scalar] [--json=PATH]\n";
+    return 0;
+  }
+  if (cli.has("chaos")) return run_chaos(cli);
+  return run_serve(cli);
 }
 
 }  // namespace
